@@ -1,0 +1,214 @@
+// Repository-level benchmark harness: one benchmark per table and figure of
+// the paper. Each benchmark regenerates its figure through the library
+// facade; the first iteration pays the full simulation campaign, later
+// iterations hit the study caches (reported time therefore approaches the
+// pure table-assembly cost — run with -benchtime=1x to time cold
+// regeneration).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFigure8 -benchtime=1x
+//
+// Additional engine microbenchmarks (trace generation, cycle engine,
+// contention solver, stack profiler) quantify the simulator itself.
+package smtflex
+
+import (
+	"sync"
+	"testing"
+
+	"smtflex/internal/cache"
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/core"
+	"smtflex/internal/cpu"
+	"smtflex/internal/interval"
+	"smtflex/internal/multicore"
+	"smtflex/internal/profiler"
+	"smtflex/internal/sched"
+	"smtflex/internal/trace"
+	"smtflex/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchSim  *core.Simulator
+)
+
+// simulator returns the shared Simulator: profiles and design sweeps are
+// cached across all figure benchmarks, matching how the paper derives every
+// figure from one simulation campaign.
+func simulator() *core.Simulator {
+	benchOnce.Do(func() { benchSim = core.NewSimulator(core.WithUopCount(100_000)) })
+	return benchSim
+}
+
+// benchFigure regenerates one figure per iteration.
+func benchFigure(b *testing.B, id string) {
+	sim := simulator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := sim.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- One benchmark per table/figure of the paper ---
+
+func BenchmarkTable1(b *testing.B)    { benchFigure(b, "table1") }
+func BenchmarkFigure1(b *testing.B)   { benchFigure(b, "fig1") }
+func BenchmarkFigure2(b *testing.B)   { benchFigure(b, "fig2") }
+func BenchmarkFigure3a(b *testing.B)  { benchFigure(b, "fig3a") }
+func BenchmarkFigure3b(b *testing.B)  { benchFigure(b, "fig3b") }
+func BenchmarkFigure4a(b *testing.B)  { benchFigure(b, "fig4a") }
+func BenchmarkFigure4b(b *testing.B)  { benchFigure(b, "fig4b") }
+func BenchmarkFigure5(b *testing.B)   { benchFigure(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)   { benchFigure(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)   { benchFigure(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)   { benchFigure(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)   { benchFigure(b, "fig9") }
+func BenchmarkFigure10a(b *testing.B) { benchFigure(b, "fig10a") }
+func BenchmarkFigure10b(b *testing.B) { benchFigure(b, "fig10b") }
+func BenchmarkFigure11(b *testing.B)  { benchFigure(b, "fig11") }
+func BenchmarkFigure12a(b *testing.B) { benchFigure(b, "fig12a") }
+func BenchmarkFigure12b(b *testing.B) { benchFigure(b, "fig12b") }
+func BenchmarkFigure13a(b *testing.B) { benchFigure(b, "fig13a") }
+func BenchmarkFigure13b(b *testing.B) { benchFigure(b, "fig13b") }
+func BenchmarkFigure14(b *testing.B)  { benchFigure(b, "fig14") }
+func BenchmarkFigure15(b *testing.B)  { benchFigure(b, "fig15") }
+func BenchmarkFigure16(b *testing.B)  { benchFigure(b, "fig16") }
+func BenchmarkFigure17a(b *testing.B) { benchFigure(b, "fig17a") }
+func BenchmarkFigure17b(b *testing.B) { benchFigure(b, "fig17b") }
+
+// --- Engine microbenchmarks ---
+
+// BenchmarkTraceGeneration measures synthetic µop stream throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := trace.NewGenerator(spec, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkCycleEngine measures detailed-simulation throughput: µops per
+// second of a 4-thread workload on the 4B chip.
+func BenchmarkCycleEngine(b *testing.B) {
+	d, err := config.DesignByName("4B", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip, err := multicore.New(d, cpu.Ideal{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix := workload.Mix{ID: "bench", Programs: []string{"tonto", "mcf", "gcc", "hmmer"}}
+	readers, err := mix.Readers(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, r := range readers {
+		if _, err := chip.AttachThread(i, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	chip.Run(uint64(b.N))
+}
+
+// BenchmarkContentionSolve measures the interval engine's fixed-point solve
+// for a fully loaded 24-thread 4B chip.
+func BenchmarkContentionSolve(b *testing.B) {
+	src := profiler.NewSource(60_000)
+	d, err := config.DesignByName("4B", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := make([]string, 24)
+	names := workload.Names()
+	for i := range progs {
+		progs[i] = names[i%len(names)]
+	}
+	placement, err := sched.Place(d, workload.Mix{ID: "bench", Programs: progs}, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contention.Solve(placement); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerPlace measures offline schedule construction.
+func BenchmarkSchedulerPlace(b *testing.B) {
+	src := profiler.NewSource(60_000)
+	d, err := config.DesignByName("3B5s", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix := workload.HeterogeneousMixes(16, 1, 42)[0]
+	// Warm the profile cache outside the timed region.
+	if _, err := sched.Place(d, mix, src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Place(d, mix, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStackProfiler measures reuse-distance profiling throughput.
+func BenchmarkStackProfiler(b *testing.B) {
+	p := cache.NewStackProfiler(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Touch(uint64(i % 100000))
+	}
+}
+
+// BenchmarkIntervalEvaluate measures one CPI-stack evaluation.
+func BenchmarkIntervalEvaluate(b *testing.B) {
+	src := profiler.NewSource(60_000)
+	spec, err := workload.ByName("soplex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := src.Profile(spec, config.Big)
+	cc := config.BigCore()
+	sh := interval.Shares{L1I: 32 << 10, L1D: 16 << 10, L2: 128 << 10, LLC: 2 << 20, MemLatencyCycles: 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := p.Evaluate(cc, 64, sh)
+		if st.Total() <= 0 {
+			b.Fatal("bad stack")
+		}
+	}
+}
+
+// BenchmarkProfileMeasurement measures the one-time cost of characterizing
+// one benchmark on one core type (cycle-engine idealization runs + curves).
+func BenchmarkProfileMeasurement(b *testing.B) {
+	spec, err := workload.ByName("bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		src := profiler.NewSource(60_000) // fresh cache every iteration
+		p := src.Profile(spec, config.Medium)
+		if p.DataAPKU <= 0 {
+			b.Fatal("bad profile")
+		}
+	}
+}

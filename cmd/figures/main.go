@@ -1,0 +1,64 @@
+// Command figures regenerates the tables and figures of the paper as
+// aligned text tables (and optionally CSV files).
+//
+// Usage:
+//
+//	figures -exp all
+//	figures -exp fig8,fig11 -uops 300000
+//	figures -exp all -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"smtflex/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated figure ids (see -list), or 'all'")
+	uops := flag.Uint64("uops", 200_000, "cycle-engine µops per profiling run")
+	mixes := flag.Int("mixes", 12, "random heterogeneous mixes per thread count")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	list := flag.Bool("list", false, "list available figure ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range core.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithMixesPerCount(*mixes))
+
+	ids := core.FigureIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tab, err := sim.Figure(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), tab)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command jobsim simulates a stream of arriving and departing jobs — the
+// paper's motivating dynamic multiprogramming scenario — on one or more
+// design points and reports makespan, turnaround, mean active thread count
+// and energy.
+//
+// Usage:
+//
+//	jobsim -designs 4B,20s -jobs 40 -interarrival 1.5e6 -work 2e7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smtflex/internal/config"
+	"smtflex/internal/profiler"
+	"smtflex/internal/timeline"
+)
+
+func main() {
+	designs := flag.String("designs", "4B,8m,20s,3B5s,1B6m", "comma-separated design names")
+	smt := flag.Bool("smt", true, "enable SMT")
+	nJobs := flag.Int("jobs", 40, "number of jobs")
+	inter := flag.Float64("interarrival", 1.5e6, "mean inter-arrival time in ns")
+	work := flag.Float64("work", 2e7, "mean job work in µops")
+	seed := flag.Uint64("seed", 2014, "workload seed")
+	uops := flag.Uint64("profile-uops", 200_000, "µops per profiling run")
+	flag.Parse()
+
+	src := profiler.NewSource(*uops)
+	jobs := timeline.PoissonWorkload(*nJobs, *inter, *work, *seed)
+
+	fmt.Println("design   makespan(ms)  mean-turnaround(ms)  mean-active  energy(J)")
+	for _, name := range strings.Split(*designs, ",") {
+		name = strings.TrimSpace(name)
+		d, err := config.DesignByName(name, *smt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jobsim: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := timeline.Simulate(d, jobs, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jobsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-6s %12.2f %20.2f %12.2f %10.3f\n",
+			name, res.MakespanNs/1e6, res.MeanTurnaroundNs/1e6, res.MeanActive, res.EnergyJoules)
+	}
+}

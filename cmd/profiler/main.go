@@ -1,0 +1,107 @@
+// Command profiler measures and prints the interval profile of a benchmark
+// on a core type: the base-CPI-versus-window curve, the branch and I-cache
+// CPI components, the visible-latency calibration, and the reuse curves.
+//
+// Usage:
+//
+//	profiler -bench mcf -core big
+//	profiler -bench all -core all -uops 300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smtflex/internal/config"
+	"smtflex/internal/profiler"
+	"smtflex/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "benchmark name or 'all'")
+	coreType := flag.String("core", "all", "core type: big, medium, small or 'all'")
+	uops := flag.Uint64("uops", 200_000, "µops per measurement run")
+	curves := flag.Bool("curves", false, "also print the miss-ratio curves")
+	load := flag.String("load", "", "load previously saved profiles from this JSON file")
+	save := flag.String("save", "", "save all measured profiles to this JSON file")
+	flag.Parse()
+
+	src := profiler.NewSource(*uops)
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := src.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d profiles from %s\n", n, *load)
+	}
+
+	benches := workload.Names()
+	if *bench != "all" {
+		benches = []string{*bench}
+	}
+	var types []config.CoreType
+	switch *coreType {
+	case "all":
+		types = []config.CoreType{config.Big, config.Medium, config.Small}
+	case "big":
+		types = []config.CoreType{config.Big}
+	case "medium":
+		types = []config.CoreType{config.Medium}
+	case "small":
+		types = []config.CoreType{config.Small}
+	default:
+		fmt.Fprintf(os.Stderr, "profiler: unknown core type %q\n", *coreType)
+		os.Exit(1)
+	}
+
+	for _, b := range benches {
+		spec, err := workload.ByName(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+			os.Exit(1)
+		}
+		for _, ct := range types {
+			p := src.Profile(spec, ct)
+			fmt.Printf("%s on %s core:\n", b, ct)
+			fmt.Printf("  base CPI by window: ")
+			for i, w := range p.BaseWindows {
+				fmt.Printf("%d:%.3f ", w, p.BaseCPIs[i])
+			}
+			fmt.Println()
+			fmt.Printf("  branch CPI %.4f (%.2f mispredicts/kµop)\n", p.BrCPI, p.BrMPKU)
+			fmt.Printf("  icache CPI %.4f (%.1f block transitions/kµop)\n", p.L1ICPI, p.IBlockAPKU)
+			fmt.Printf("  memory CPI %.4f (visible %.2f..%.2f, const %.4f)\n",
+				p.BaselineMemCPI, p.Visible, p.VisibleMin, p.MemConstCPI)
+			fmt.Printf("  data accesses/kµop %.1f\n", p.DataAPKU)
+			if *curves {
+				fmt.Printf("  data miss curve:")
+				for i, c := range p.DCurve.Capacities {
+					fmt.Printf(" %dKB:%.3f", c*64/1024, p.DCurve.Ratios[i])
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := src.SaveJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "saved profiles to %s\n", *save)
+	}
+}

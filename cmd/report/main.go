@@ -1,0 +1,62 @@
+// Command report runs the full simulation campaign, evaluates every finding
+// of the paper against the measured results, and emits a Markdown report —
+// the machine-generated core of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	report -uops 200000 > EXPERIMENTS-generated.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"smtflex/internal/core"
+)
+
+func main() {
+	uops := flag.Uint64("uops", 200_000, "cycle-engine µops per profiling run")
+	figures := flag.Bool("figures", false, "append every figure table to the report")
+	flag.Parse()
+
+	sim := core.NewSimulator(core.WithUopCount(*uops))
+	start := time.Now()
+
+	findings, err := sim.Study().CheckFindings()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("# Findings report")
+	fmt.Println()
+	fmt.Printf("Profiling fidelity: %d µops per measurement run. Campaign time: %.0f s.\n\n",
+		*uops, time.Since(start).Seconds())
+	fmt.Println("| # | Claim | Reproduced | Measured |")
+	fmt.Println("|---|-------|------------|----------|")
+	reproduced := 0
+	for _, f := range findings {
+		mark := "yes"
+		if f.Reproduced {
+			reproduced++
+		} else {
+			mark = "NO"
+		}
+		fmt.Printf("| %d | %s | %s | %s |\n", f.ID, f.Claim, mark, f.Detail)
+	}
+	fmt.Printf("\n%d of %d findings reproduced.\n", reproduced, len(findings))
+
+	if *figures {
+		fmt.Println()
+		for _, id := range core.FigureIDs() {
+			tab, err := sim.Figure(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "report: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("## %s\n\n```\n%s```\n\n", id, tab)
+		}
+	}
+}

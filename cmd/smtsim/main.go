@@ -1,0 +1,63 @@
+// Command smtsim simulates one multi-program workload on one multi-core
+// design point and prints per-thread and system-level results.
+//
+// Usage:
+//
+//	smtsim -design 4B -programs mcf,tonto,hmmer,libquantum
+//	smtsim -design 2B10s -smt=false -programs mcf,mcf,mcf
+//	smtsim -design 4B -engine cycle -uops 100000 -programs tonto,mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smtflex/internal/core"
+)
+
+func main() {
+	design := flag.String("design", "4B", "design point (4B, 8m, 20s, 3B2m, 3B5s, 2B4m, 2B10s, 1B6m, 1B15s)")
+	smt := flag.Bool("smt", true, "enable SMT")
+	programs := flag.String("programs", "tonto,mcf", "comma-separated benchmark names, one per thread")
+	engine := flag.String("engine", "interval", "engine: interval or cycle")
+	uops := flag.Uint64("uops", 100_000, "µops per thread for the cycle engine")
+	profUops := flag.Uint64("profile-uops", 200_000, "µops per profiling run for the interval engine")
+	flag.Parse()
+
+	sim := core.NewSimulator(core.WithUopCount(*profUops))
+	progs := strings.Split(*programs, ",")
+	for i := range progs {
+		progs[i] = strings.TrimSpace(progs[i])
+	}
+
+	switch *engine {
+	case "interval":
+		res, err := sim.RunMix(*design, *smt, progs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("design=%s smt=%t threads=%d\n", *design, *smt, len(progs))
+		fmt.Printf("STP              %.3f\n", res.STP)
+		fmt.Printf("ANTT             %.3f\n", res.ANTT)
+		fmt.Printf("power (gated)    %.1f W\n", res.Watts)
+		fmt.Printf("power (ungated)  %.1f W\n", res.WattsUngated)
+		fmt.Printf("bus utilization  %.1f %%\n", 100*res.BusUtilization)
+	case "cycle":
+		stats, err := sim.RunCycleAccurate(*design, *smt, progs, *uops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("design=%s smt=%t threads=%d engine=cycle uops/thread=%d\n", *design, *smt, len(progs), *uops)
+		for i, st := range stats {
+			fmt.Printf("thread %2d %-12s ipc=%.3f cpi=%.3f mem-stall=%.2f br-stall=%.3f fetch-stall=%.3f mispredicts=%d\n",
+				i, progs[i], st.IPC(), st.CPI(), st.MemStallCPI(), st.BranchStallCPI(), st.FetchStallCPI(), st.Mispredicts)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "smtsim: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+}

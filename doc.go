@@ -1,0 +1,16 @@
+// Package smtflex reproduces "The Benefit of SMT in the Multi-Core Era:
+// Flexibility towards Degrees of Thread-Level Parallelism" (Eyerman &
+// Eeckhout, ASPLOS 2014): a multi-core design-space study comparing
+// homogeneous, heterogeneous and dynamic multi-cores — with and without
+// SMT — under workloads whose active thread count varies over time.
+//
+// The library lives under internal/: package core is the facade, the
+// simulation substrates (cycle-level cores, caches, DRAM, interval engine,
+// contention solver, power model, workload models) are one package each,
+// and package study regenerates every table and figure of the paper. See
+// README.md for the layout and DESIGN.md for the substitution decisions.
+//
+// The root package intentionally exports nothing; it anchors the module and
+// hosts the repository-level benchmark harness (bench_test.go), which has
+// one benchmark per table and figure of the paper.
+package smtflex

@@ -1,0 +1,47 @@
+// Datacenter study: evaluate all nine power-equivalent designs under the
+// datacenter active-thread-count distribution (peaks near idle and at
+// 30-40% utilization) and its mirror, with and without SMT — the Figure 10
+// experiment, exposed as a library workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtflex/internal/config"
+	"smtflex/internal/core"
+	"smtflex/internal/dist"
+	"smtflex/internal/study"
+)
+
+func main() {
+	sim := core.NewSimulator(core.WithUopCount(100_000))
+	st := sim.Study()
+
+	for _, d := range []dist.Distribution{dist.Datacenter(), dist.MirroredDatacenter()} {
+		fmt.Printf("distribution %-20s (mean %.1f threads)\n", d.Name, d.Mean())
+		for _, smt := range []bool{false, true} {
+			fmt.Printf("  SMT=%-5t ", smt)
+			bestName, bestSTP := "", 0.0
+			var fourB float64
+			for _, design := range config.NineDesigns(smt) {
+				sw, err := st.SweepDesign(design, study.Heterogeneous)
+				if err != nil {
+					log.Fatal(err)
+				}
+				stp, err := study.DistributionSTP(sw, d)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%s=%.2f ", design.Name, stp)
+				if stp > bestSTP {
+					bestName, bestSTP = design.Name, stp
+				}
+				if design.Name == "4B" {
+					fourB = stp
+				}
+			}
+			fmt.Printf("\n    best=%s; 4B within %.1f%% of best\n", bestName, 100*(bestSTP-fourB)/bestSTP)
+		}
+	}
+}

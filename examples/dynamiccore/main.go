@@ -1,0 +1,49 @@
+// Dynamic multi-core comparison: pit the homogeneous 4B design with SMT
+// against an ideal dynamic multi-core that morphs, free of overhead, into
+// the best of the nine designs at every thread count — the Figure 13
+// experiment, with a per-thread-count winner report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtflex/internal/config"
+	"smtflex/internal/core"
+	"smtflex/internal/study"
+)
+
+func main() {
+	sim := core.NewSimulator(core.WithUopCount(100_000))
+	st := sim.Study()
+
+	tab, err := st.Figure13(study.Heterogeneous)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Which static design would the ideal dynamic core pick at each count?
+	sweeps := map[string]*study.Sweep{}
+	for _, d := range config.NineDesigns(false) {
+		sw, err := st.SweepDesign(d, study.Heterogeneous)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweeps[d.Name] = sw
+	}
+
+	fmt.Println("threads  4B+SMT  dyn(noSMT)  dyn(SMT)  dyn picks")
+	r4 := tab.Row("4B_SMT")
+	rd := tab.Row("dynamic_noSMT")
+	rs := tab.Row("dynamic_SMT")
+	for n := 1; n <= study.MaxThreads; n++ {
+		best, bestV := "", 0.0
+		for name, sw := range sweeps {
+			if v := sw.STP[n-1]; v > bestV {
+				best, bestV = name, v
+			}
+		}
+		fmt.Printf("%7d  %6.2f  %10.2f  %8.2f  %s\n",
+			n, tab.Get(r4, n-1), tab.Get(rd, n-1), tab.Get(rs, n-1), best)
+	}
+}

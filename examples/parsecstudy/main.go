@@ -1,0 +1,56 @@
+// PARSEC-like study: run a multi-threaded application across designs and
+// thread counts, reporting ROI and whole-program times and the distribution
+// of active thread counts — the behaviour behind Figures 1, 11 and 12.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtflex/internal/core"
+)
+
+func main() {
+	sim := core.NewSimulator(core.WithUopCount(100_000))
+
+	app := "ferret" // pipeline-parallel, limited scaling, varying thread count
+	fmt.Printf("application: %s\n\n", app)
+
+	// Sweep thread counts on the 4B SMT design.
+	fmt.Println("threads on 4B (SMT): ROI and whole-program time (ms)")
+	base := 0.0
+	for _, n := range []int{4, 8, 12, 16, 20, 24} {
+		res, err := sim.RunParallel("4B", true, app, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.ROINs
+		}
+		fmt.Printf("  %2d threads  roi=%7.1f  whole=%7.1f  speedup=%.2f\n",
+			n, res.ROINs/1e6, res.TotalNs/1e6, base/res.ROINs)
+	}
+
+	// Active-thread-count distribution with 20 threads on twenty cores.
+	res, err := sim.RunParallel("20s", false, app, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nactive-thread distribution, 20 threads on 20s (fraction of ROI time):")
+	for k := 1; k <= 20; k++ {
+		frac := res.Active[k-1]
+		if frac < 0.005 {
+			continue
+		}
+		fmt.Printf("  %2d active: %5.1f%%  %s\n", k, 100*frac, bar(frac))
+	}
+}
+
+func bar(f float64) string {
+	n := int(f * 60)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

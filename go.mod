@@ -1,0 +1,3 @@
+module smtflex
+
+go 1.22

@@ -1,0 +1,163 @@
+// Package branch implements the branch direction predictors used by the
+// core timing models: a bimodal table, a gshare predictor, and trivial
+// static baselines. Predictors are per hardware thread context (the paper's
+// SMT cores statically partition predictor state along with the ROB).
+package branch
+
+// Predictor predicts conditional branch directions and learns from outcomes.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+}
+
+// Stats tracks prediction accuracy.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// MispredictRate returns mispredictions per lookup, or zero when idle.
+func (s Stats) MispredictRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Lookups)
+}
+
+// counter is a 2-bit saturating counter; values 2..3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) train(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^logSize entries, initialized
+// weakly taken.
+func NewBimodal(logSize uint) *Bimodal {
+	n := 1 << logSize
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[(pc>>2)&b.mask].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := (pc >> 2) & b.mask
+	b.table[i] = b.table[i].train(taken)
+}
+
+// Gshare XORs a global history register into the table index.
+type Gshare struct {
+	table   []counter
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGshare returns a gshare predictor with 2^logSize counters and histLen
+// bits of global history.
+func NewGshare(logSize, histLen uint) *Gshare {
+	n := 1 << logSize
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{table: t, mask: uint64(n - 1), histLen: histLen}
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor. It trains the counter and shifts the outcome
+// into the global history.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].train(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histLen) - 1
+}
+
+// AlwaysTaken is the static baseline that predicts every branch taken.
+type AlwaysTaken struct{}
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(uint64) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(uint64, bool) {}
+
+// Oracle is a perfect predictor used to isolate branch effects in tests.
+type Oracle struct {
+	// Next is the outcome Predict will return; tests set it before each call.
+	Next bool
+}
+
+// Predict implements Predictor.
+func (o *Oracle) Predict(uint64) bool { return o.Next }
+
+// Update implements Predictor.
+func (o *Oracle) Update(uint64, bool) {}
+
+// BTB is a direct-mapped branch target buffer. The core models use it for
+// taken control transfers: a taken branch or jump whose target is absent
+// costs a front-end bubble even when the direction was predicted correctly
+// (the fetch unit cannot redirect until the target is computed).
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	mask    uint64
+	// Stats is exported accumulated activity.
+	Stats Stats
+}
+
+// NewBTB returns a BTB with 2^logSize entries.
+func NewBTB(logSize uint) *BTB {
+	n := 1 << logSize
+	return &BTB{tags: make([]uint64, n), targets: make([]uint64, n), mask: uint64(n - 1)}
+}
+
+// Lookup reports whether the BTB holds the correct target for the control
+// transfer at pc, then installs/updates the entry. A miss (absent entry or
+// stale target) means the front end must wait for the target computation.
+func (b *BTB) Lookup(pc, target uint64) bool {
+	i := (pc >> 2) & b.mask
+	b.Stats.Lookups++
+	hit := b.tags[i] == pc && b.targets[i] == target
+	if !hit {
+		b.Stats.Mispredicts++
+		b.tags[i] = pc
+		b.targets[i] = target
+	}
+	return hit
+}

@@ -1,0 +1,106 @@
+package cache
+
+// treap is an order-statistics treap over uint64 keys (access timestamps).
+// It supports insert, delete, and counting keys greater than a threshold,
+// all in O(log n) expected time. Priorities come from a deterministic
+// xorshift generator so profiling runs are reproducible.
+type treap struct {
+	root *treapNode
+	rng  uint64
+}
+
+type treapNode struct {
+	key         uint64
+	prio        uint64
+	size        int
+	left, right *treapNode
+}
+
+func newTreap() *treap { return &treap{rng: 0x9E3779B97F4A7C15} }
+
+func (t *treap) nextPrio() uint64 {
+	// xorshift64*
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func size(n *treapNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treapNode) update() { n.size = 1 + size(n.left) + size(n.right) }
+
+// split partitions n into keys <= key and keys > key.
+func split(n *treapNode, key uint64) (lo, hi *treapNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key <= key {
+		l, h := split(n.right, key)
+		n.right = l
+		n.update()
+		return n, h
+	}
+	l, h := split(n.left, key)
+	n.left = h
+	n.update()
+	return l, n
+}
+
+func merge(a, b *treapNode) *treapNode {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.prio > b.prio:
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	default:
+		b.left = merge(a, b.left)
+		b.update()
+		return b
+	}
+}
+
+// insert adds key, which must not already be present.
+func (t *treap) insert(key uint64) {
+	node := &treapNode{key: key, prio: t.nextPrio(), size: 1}
+	lo, hi := split(t.root, key)
+	t.root = merge(merge(lo, node), hi)
+}
+
+// delete removes key if present and reports whether it was found.
+func (t *treap) delete(key uint64) bool {
+	lo, hi := split(t.root, key)
+	lo2, eq := split(lo, key-1)
+	found := eq != nil
+	t.root = merge(lo2, hi)
+	return found
+}
+
+// countGreater returns the number of keys strictly greater than key.
+func (t *treap) countGreater(key uint64) int {
+	n := t.root
+	count := 0
+	for n != nil {
+		if n.key > key {
+			count += 1 + size(n.right)
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return count
+}
+
+// len returns the number of keys stored.
+func (t *treap) len() int { return size(t.root) }

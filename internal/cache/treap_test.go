@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGreater counts keys > x in a slice.
+func naiveGreater(keys []uint64, x uint64) int {
+	n := 0
+	for _, k := range keys {
+		if k > x {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTreapBasic(t *testing.T) {
+	tr := newTreap()
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		tr.insert(k)
+	}
+	if tr.len() != 5 {
+		t.Fatalf("len %d", tr.len())
+	}
+	if got := tr.countGreater(4); got != 3 {
+		t.Fatalf("countGreater(4) = %d, want 3", got)
+	}
+	if got := tr.countGreater(9); got != 0 {
+		t.Fatalf("countGreater(9) = %d, want 0", got)
+	}
+	if got := tr.countGreater(0); got != 5 {
+		t.Fatalf("countGreater(0) = %d, want 5", got)
+	}
+	if !tr.delete(5) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.delete(5) {
+		t.Fatal("delete absent succeeded")
+	}
+	if tr.len() != 4 {
+		t.Fatalf("len after delete %d", tr.len())
+	}
+	if got := tr.countGreater(4); got != 2 {
+		t.Fatalf("countGreater(4) after delete = %d, want 2", got)
+	}
+}
+
+func TestTreapAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newTreap()
+	present := map[uint64]bool{}
+	var keys []uint64
+	for op := 0; op < 5000; op++ {
+		switch rng.Intn(3) {
+		case 0, 1: // insert a fresh key
+			k := uint64(rng.Intn(10000))
+			if !present[k] {
+				present[k] = true
+				keys = append(keys, k)
+				tr.insert(k)
+			}
+		case 2: // delete a random present key
+			if len(keys) > 0 {
+				i := rng.Intn(len(keys))
+				k := keys[i]
+				keys = append(keys[:i], keys[i+1:]...)
+				delete(present, k)
+				if !tr.delete(k) {
+					t.Fatalf("delete(%d) failed", k)
+				}
+			}
+		}
+		if op%100 == 0 {
+			x := uint64(rng.Intn(10000))
+			if got, want := tr.countGreater(x), naiveGreater(keys, x); got != want {
+				t.Fatalf("op %d: countGreater(%d) = %d, want %d", op, x, got, want)
+			}
+			if tr.len() != len(keys) {
+				t.Fatalf("op %d: len %d, want %d", op, tr.len(), len(keys))
+			}
+		}
+	}
+}
+
+func TestTreapCountGreaterProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		// Deduplicate: treap keys are unique.
+		seen := map[uint64]bool{}
+		var keys []uint64
+		for _, r := range raw {
+			k := uint64(r)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		tr := newTreap()
+		for _, k := range keys {
+			tr.insert(k)
+		}
+		return tr.countGreater(uint64(probe)) == naiveGreater(keys, uint64(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapOrderedInsertBalanced(t *testing.T) {
+	// Sequential timestamps are the access pattern of the profiler; the
+	// treap must stay usable (this would overflow the stack if it
+	// degenerated into a list and used recursive descent without priorities).
+	tr := newTreap()
+	for k := uint64(1); k <= 200000; k++ {
+		tr.insert(k)
+	}
+	if tr.len() != 200000 {
+		t.Fatalf("len %d", tr.len())
+	}
+	if got := tr.countGreater(100000); got != 100000 {
+		t.Fatalf("countGreater = %d", got)
+	}
+	// Delete every other key.
+	for k := uint64(2); k <= 200000; k += 2 {
+		if !tr.delete(k) {
+			t.Fatalf("delete(%d) failed", k)
+		}
+	}
+	if got := tr.countGreater(0); got != 100000 {
+		t.Fatalf("after deletes countGreater(0) = %d", got)
+	}
+}
+
+func TestTreapDeterministicPriorities(t *testing.T) {
+	// Two treaps fed the same keys produce identical query results (the
+	// priority stream is deterministic, so profiling runs reproduce).
+	keys := []uint64{9, 4, 7, 1, 8, 2}
+	a, b := newTreap(), newTreap()
+	for _, k := range keys {
+		a.insert(k)
+		b.insert(k)
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, k := range sorted {
+		if a.countGreater(k) != b.countGreater(k) {
+			t.Fatalf("treaps diverged at %d", k)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package contention resolves chip-level resource sharing for the interval
+// engine: given a placement of threads onto the cores of a design, it finds
+// a fixed point of per-thread performance, private-cache and shared-LLC
+// capacity shares (allocation-rate-weighted competition), DRAM bus and bank
+// queueing, SMT dispatch-width sharing and non-SMT time sharing.
+package contention
+
+import (
+	"fmt"
+	"math"
+
+	"smtflex/internal/config"
+	"smtflex/internal/interval"
+)
+
+// Placement assigns threads to cores of a design.
+type Placement struct {
+	// Design is the multi-core design point.
+	Design config.Design
+	// CoreOf[i] is the index of the core thread i runs on.
+	CoreOf []int
+	// Profiles[i] is thread i's profile measured on the type of its core.
+	Profiles []*interval.Profile
+}
+
+// Validate reports structural errors.
+func (p Placement) Validate() error {
+	if err := p.Design.Validate(); err != nil {
+		return err
+	}
+	if len(p.CoreOf) != len(p.Profiles) {
+		return fmt.Errorf("contention: %d core assignments but %d profiles", len(p.CoreOf), len(p.Profiles))
+	}
+	for i, c := range p.CoreOf {
+		if c < 0 || c >= len(p.Design.Cores) {
+			return fmt.Errorf("contention: thread %d on core %d, design has %d cores", i, c, len(p.Design.Cores))
+		}
+		if p.Profiles[i] == nil {
+			return fmt.Errorf("contention: thread %d has nil profile", i)
+		}
+		if want := p.Design.Cores[c].Type; p.Profiles[i].Core != want {
+			return fmt.Errorf("contention: thread %d profile is for %v core but placed on %v", i, p.Profiles[i].Core, want)
+		}
+	}
+	return nil
+}
+
+// ThreadResult is the converged state of one thread.
+type ThreadResult struct {
+	// Stack is the predicted CPI decomposition.
+	Stack interval.CPIStack
+	// IPC is µops per core cycle while running (after SMT width sharing).
+	IPC float64
+	// TimeShare is the fraction of time the thread runs (1 with SMT, 1/k
+	// when k threads time-share a context).
+	TimeShare float64
+	// UopsPerNs is the thread's absolute progress rate.
+	UopsPerNs float64
+	// Shares are the converged capacity shares and memory latency.
+	Shares interval.Shares
+}
+
+// Result is the converged chip state.
+type Result struct {
+	Threads []ThreadResult
+	// MemLatencyNs is the contended DRAM latency in nanoseconds.
+	MemLatencyNs float64
+	// BusUtilization is the off-chip bus utilization in [0,1].
+	BusUtilization float64
+	// CoreUtilization[c] is Σ IPC / width for core c (the power model's
+	// activity factor).
+	CoreUtilization []float64
+}
+
+const (
+	dramAccessNs = 45.0
+	dramBanks    = 8
+	blockBytes   = 64
+	iterations   = 60
+	damping      = 0.5
+	// rhoCap keeps the queueing model finite at saturation. Calibrated so
+	// that a fully saturated bus inflates memory latency by roughly the 4x
+	// the paper reports for libquantum at 24 threads (0.98 would give ~7x).
+	rhoCap = 0.95
+)
+
+// memLatencyNs returns the contended DRAM latency for an offered load in
+// blocks per nanosecond, using an M/D/1 bus queue plus bank contention.
+func memLatencyNs(blocksPerNs, bandwidthGBps float64) float64 {
+	service := blockBytes / bandwidthGBps // ns per block on the bus
+	rho := math.Min(blocksPerNs*service, rhoCap)
+	busWait := rho * service / (2 * (1 - rho))
+	bankRho := math.Min(blocksPerNs*dramAccessNs/dramBanks, rhoCap)
+	bankWait := bankRho * dramAccessNs / (2 * (1 - bankRho))
+	return dramAccessNs + service + busWait + bankWait
+}
+
+// Solve iterates to a fixed point with the calibrated default model.
+func Solve(p Placement) (Result, error) {
+	return SolveModel(p, DefaultModel())
+}
+
+// SolveModel is Solve with explicit model choices (see Model); the ablation
+// studies use it to quantify each mechanism's contribution.
+func SolveModel(p Placement, m Model) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	p = m.flatten(p)
+	n := len(p.CoreOf)
+	res := Result{
+		Threads:         make([]ThreadResult, n),
+		CoreUtilization: make([]float64, len(p.Design.Cores)),
+	}
+	if n == 0 {
+		res.MemLatencyNs = m.memLatency(0, p.Design.MemBandwidthGBps)
+		return res, nil
+	}
+
+	// Per-core thread groups.
+	group := make([][]int, len(p.Design.Cores))
+	for i, c := range p.CoreOf {
+		group[c] = append(group[c], i)
+	}
+
+	// State: absolute rates (µops/ns), initialized optimistically.
+	rate := make([]float64, n)
+	for i := range rate {
+		cc := p.Design.Cores[p.CoreOf[i]]
+		rate[i] = float64(cc.Width) * cc.FrequencyGHz / 2
+	}
+	llcShare := make([]float64, n)
+	l1dShare := make([]float64, n)
+	l2Share := make([]float64, n)
+	l1iShare := make([]float64, n)
+
+	llcBytes := float64(p.Design.LLC.SizeBytes)
+	memLatNs := m.memLatency(0, p.Design.MemBandwidthGBps)
+
+	for iter := 0; iter < iterations; iter++ {
+		// --- Private cache shares within each core (allocation-weighted) ---
+		for c, ths := range group {
+			cc := p.Design.Cores[c]
+			shareCaches(p, ths, rate, cc, l1iShare, l1dShare, l2Share, llcShare, memLatNs)
+		}
+
+		// --- LLC shares across all threads (allocation-weighted) ---
+		weights := make([]float64, n)
+		var wsum float64
+		for i := range weights {
+			cc := p.Design.Cores[p.CoreOf[i]]
+			sh := interval.Shares{L1I: l1iShare[i], L1D: l1dShare[i], L2: l2Share[i], LLC: llcShare[i], MemLatencyCycles: memLatNs * cc.FrequencyGHz}
+			weights[i] = p.Profiles[i].LLCAccessesPerUop(sh) * rate[i]
+			wsum += weights[i]
+		}
+		floor := 0.05 / float64(n)
+		for i := range weights {
+			var frac float64
+			switch {
+			case m.EqualLLCShares:
+				frac = 1 / float64(n)
+			case wsum > 1e-15:
+				frac = weights[i] / wsum
+			default:
+				frac = 1 / float64(n)
+			}
+			frac = math.Max(frac, floor)
+			llcShare[i] = damp(llcShare[i], frac*llcBytes)
+		}
+		normalizeShares(llcShare, llcBytes)
+
+		// --- Memory traffic and latency (fills plus writebacks) ---
+		var traffic float64 // blocks per ns
+		for i := range rate {
+			cc := p.Design.Cores[p.CoreOf[i]]
+			sh := interval.Shares{L1I: l1iShare[i], L1D: l1dShare[i], L2: l2Share[i], LLC: llcShare[i], MemLatencyCycles: memLatNs * cc.FrequencyGHz}
+			traffic += p.Profiles[i].DRAMAccessesPerUop(sh) * (1 + p.Profiles[i].WritebackFraction) * rate[i]
+		}
+		memLatNs = damp(memLatNs, m.memLatency(traffic, p.Design.MemBandwidthGBps))
+
+		// --- Per-thread CPI and per-core width/time sharing ---
+		for c, ths := range group {
+			if len(ths) == 0 {
+				continue
+			}
+			cc := p.Design.Cores[c]
+			ipcs := make([]float64, len(ths))
+			timeShare := make([]float64, len(ths))
+			coRunners, tshare := smtOccupancy(cc, p.Design.SMTEnabled, len(ths))
+			part := interval.Partition(cc, coRunners)
+			for k, ti := range ths {
+				sh := interval.Shares{
+					L1I: l1iShare[ti], L1D: l1dShare[ti], L2: l2Share[ti], LLC: llcShare[ti],
+					MemLatencyCycles: memLatNs * cc.FrequencyGHz,
+				}
+				st := p.Profiles[ti].Evaluate(cc, part, sh)
+				res.Threads[ti].Stack = st
+				res.Threads[ti].Shares = sh
+				ipcs[k] = 1 / st.Total()
+				timeShare[k] = tshare
+			}
+			if p.Design.SMTEnabled && coRunners > 1 {
+				interval.ShareWidthEff(ipcs, cc.Width, m.effIssue())
+			}
+			for k, ti := range ths {
+				res.Threads[ti].IPC = ipcs[k]
+				res.Threads[ti].TimeShare = timeShare[k]
+				rate[ti] = damp(rate[ti], ipcs[k]*timeShare[k]*cc.FrequencyGHz)
+			}
+		}
+	}
+
+	// Finalize.
+	var traffic float64
+	for i := range res.Threads {
+		cc := p.Design.Cores[p.CoreOf[i]]
+		res.Threads[i].UopsPerNs = rate[i]
+		res.CoreUtilization[p.CoreOf[i]] += res.Threads[i].IPC * res.Threads[i].TimeShare / float64(cc.Width)
+		traffic += p.Profiles[i].DRAMAccessesPerUop(res.Threads[i].Shares) * (1 + p.Profiles[i].WritebackFraction) * rate[i]
+	}
+	res.MemLatencyNs = memLatNs
+	res.BusUtilization = math.Min(traffic*blockBytes/p.Design.MemBandwidthGBps, 1)
+	return res, nil
+}
+
+// smtOccupancy returns how many threads concurrently share the core's
+// pipeline and the per-thread time share. Without SMT, one thread runs at a
+// time; with SMT, up to SMTContexts run concurrently and any excess
+// time-shares the contexts.
+func smtOccupancy(cc config.Core, smtEnabled bool, nThreads int) (coRunners int, timeShare float64) {
+	if !smtEnabled {
+		return 1, 1 / float64(nThreads)
+	}
+	if nThreads <= cc.SMTContexts {
+		return nThreads, 1
+	}
+	return cc.SMTContexts, float64(cc.SMTContexts) / float64(nThreads)
+}
+
+// shareCaches distributes the core-private cache capacities among the
+// threads on one core, weighted by each thread's allocation rate into the
+// cache (misses per ns), with a floor so no thread is starved to zero.
+// Without SMT each time-shared thread uses the full capacity during its
+// slice.
+func shareCaches(p Placement, ths []int, rate []float64, cc config.Core,
+	l1iShare, l1dShare, l2Share, llcShare []float64, memLatNs float64) {
+	if len(ths) == 0 {
+		return
+	}
+	full := func(ti int) {
+		l1iShare[ti] = float64(cc.L1I.SizeBytes)
+		l1dShare[ti] = float64(cc.L1D.SizeBytes)
+		l2Share[ti] = float64(cc.L2.SizeBytes)
+	}
+	if !p.Design.SMTEnabled || len(ths) == 1 {
+		for _, ti := range ths {
+			full(ti)
+		}
+		return
+	}
+	// Allocation weights: misses into L1D per ns approximate occupancy
+	// pressure at every private level.
+	n := len(ths)
+	w := make([]float64, n)
+	var sum float64
+	for k, ti := range ths {
+		sh := interval.Shares{L1I: l1iShare[ti], L1D: l1dShare[ti], L2: l2Share[ti], LLC: llcShare[ti], MemLatencyCycles: memLatNs * cc.FrequencyGHz}
+		if sh.L1D == 0 { // first iteration: seed with equal split
+			sh.L1D = float64(cc.L1D.SizeBytes) / float64(n)
+			sh.L2 = float64(cc.L2.SizeBytes) / float64(n)
+			sh.LLC = 1 << 20
+		}
+		miss := p.Profiles[ti].DCurve.At(sh.L1D / 64)
+		w[k] = p.Profiles[ti].DataAPKU / 1000 * miss * rate[ti]
+		sum += w[k]
+	}
+	floor := 0.08 / float64(n)
+	for k, ti := range ths {
+		var frac float64
+		if sum > 1e-15 {
+			frac = w[k] / sum
+		} else {
+			frac = 1 / float64(n)
+		}
+		frac = math.Max(frac, floor)
+		l1dShare[ti] = damp(l1dShare[ti], frac*float64(cc.L1D.SizeBytes))
+		l2Share[ti] = damp(l2Share[ti], frac*float64(cc.L2.SizeBytes))
+	}
+	normalizeSlice(l1dShare, ths, float64(cc.L1D.SizeBytes))
+	normalizeSlice(l2Share, ths, float64(cc.L2.SizeBytes))
+
+	// The I-cache is shared by *code*, not by thread: co-runners executing
+	// the same benchmark fetch the same instructions, so the capacity splits
+	// across distinct benchmarks, not across threads.
+	distinct := map[string]bool{}
+	for _, ti := range ths {
+		distinct[p.Profiles[ti].Benchmark] = true
+	}
+	iShare := float64(cc.L1I.SizeBytes) / float64(len(distinct))
+	for _, ti := range ths {
+		l1iShare[ti] = iShare
+	}
+}
+
+// damp blends an old and a new value to stabilize the fixed point.
+func damp(old, new float64) float64 {
+	if old == 0 {
+		return new
+	}
+	return damping*old + (1-damping)*new
+}
+
+// normalizeShares rescales all entries so they sum to capacity.
+func normalizeShares(shares []float64, capacity float64) {
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum <= 0 {
+		return
+	}
+	f := capacity / sum
+	for i := range shares {
+		shares[i] *= f
+	}
+}
+
+// normalizeSlice rescales the entries indexed by ths to sum to capacity.
+func normalizeSlice(shares []float64, ths []int, capacity float64) {
+	var sum float64
+	for _, ti := range ths {
+		sum += shares[ti]
+	}
+	if sum <= 0 {
+		return
+	}
+	f := capacity / sum
+	for _, ti := range ths {
+		shares[ti] *= f
+	}
+}

@@ -1,0 +1,357 @@
+package contention
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"smtflex/internal/config"
+	"smtflex/internal/interval"
+	"smtflex/internal/profiler"
+	"smtflex/internal/workload"
+)
+
+// shared profiling source: measuring profiles is the expensive part, so all
+// tests in this package reuse one cache.
+var (
+	srcOnce sync.Once
+	src     *profiler.Source
+)
+
+func source() *profiler.Source {
+	srcOnce.Do(func() { src = profiler.NewSource(60_000) })
+	return src
+}
+
+func profileFor(t *testing.T, bench string, ct config.CoreType) *interval.Profile {
+	t.Helper()
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return source().Profile(spec, ct)
+}
+
+// place builds a placement of the given benchmarks round-robin over the
+// design's cores.
+func place(t *testing.T, designName string, smt bool, benches ...string) Placement {
+	t.Helper()
+	d, err := config.DesignByName(designName, smt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Placement{Design: d}
+	for i, b := range benches {
+		c := i % d.NumCores()
+		p.CoreOf = append(p.CoreOf, c)
+		p.Profiles = append(p.Profiles, profileFor(t, b, d.Cores[c].Type))
+	}
+	return p
+}
+
+func solve(t *testing.T, p Placement) Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidateErrors(t *testing.T) {
+	d, _ := config.DesignByName("4B", true)
+	if err := (Placement{Design: d, CoreOf: []int{0}, Profiles: nil}).Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (Placement{Design: d, CoreOf: []int{9},
+		Profiles: []*interval.Profile{profileFor(t, "hmmer", config.Big)}}).Validate(); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := (Placement{Design: d, CoreOf: []int{0},
+		Profiles: []*interval.Profile{nil}}).Validate(); err == nil {
+		t.Error("nil profile accepted")
+	}
+	// Profile measured on the wrong core type.
+	if err := (Placement{Design: d, CoreOf: []int{0},
+		Profiles: []*interval.Profile{profileFor(t, "hmmer", config.Small)}}).Validate(); err == nil {
+		t.Error("core-type mismatch accepted")
+	}
+}
+
+func TestEmptyPlacement(t *testing.T) {
+	d, _ := config.DesignByName("4B", true)
+	res := solve(t, Placement{Design: d})
+	if len(res.Threads) != 0 {
+		t.Fatal("threads from nothing")
+	}
+	if res.MemLatencyNs < 45 {
+		t.Fatalf("idle memory latency %g below DRAM access time", res.MemLatencyNs)
+	}
+}
+
+func TestSingleThreadSane(t *testing.T) {
+	res := solve(t, place(t, "4B", true, "tonto"))
+	th := res.Threads[0]
+	if th.IPC <= 0.5 || th.IPC > 4 {
+		t.Fatalf("tonto solo IPC %g out of range", th.IPC)
+	}
+	if th.TimeShare != 1 {
+		t.Fatalf("solo time share %g", th.TimeShare)
+	}
+	// Solo thread owns the private caches and the whole LLC.
+	if th.Shares.L1D != 32<<10 || th.Shares.LLC < 7.9e6 {
+		t.Fatalf("solo shares %+v", th.Shares)
+	}
+	if res.BusUtilization > 0.2 {
+		t.Fatalf("tonto solo bus utilization %g", res.BusUtilization)
+	}
+}
+
+func TestSymmetryOfIdenticalThreads(t *testing.T) {
+	res := solve(t, place(t, "4B", true, "mcf", "mcf", "mcf", "mcf"))
+	first := res.Threads[0]
+	for i, th := range res.Threads {
+		if math.Abs(th.IPC-first.IPC) > 1e-9 || math.Abs(th.Shares.LLC-first.Shares.LLC) > 1 {
+			t.Fatalf("asymmetric result for identical threads at %d: %+v vs %+v", i, th, first)
+		}
+	}
+}
+
+func TestSMTPairSlowerThanSolo(t *testing.T) {
+	solo := solve(t, place(t, "4B", true, "gobmk")).Threads[0].IPC
+	pair := solve(t, Placement{
+		Design:   mustDesign(t, "4B", true),
+		CoreOf:   []int{0, 0},
+		Profiles: []*interval.Profile{profileFor(t, "gobmk", config.Big), profileFor(t, "gobmk", config.Big)},
+	})
+	perThread := pair.Threads[0].IPC
+	if perThread >= solo {
+		t.Fatalf("SMT co-runner free: %g vs solo %g", perThread, solo)
+	}
+	// But the pair's combined throughput exceeds one thread.
+	if 2*perThread <= solo {
+		t.Fatalf("SMT pair has no throughput benefit: 2×%g vs %g", perThread, solo)
+	}
+}
+
+func mustDesign(t *testing.T, name string, smt bool) config.Design {
+	t.Helper()
+	d, err := config.DesignByName(name, smt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTimeSharingWithoutSMT(t *testing.T) {
+	// Two threads on one core without SMT: each runs half the time at its
+	// solo IPC.
+	solo := solve(t, place(t, "4B", false, "hmmer")).Threads[0]
+	pair := solve(t, Placement{
+		Design:   mustDesign(t, "4B", false),
+		CoreOf:   []int{0, 0},
+		Profiles: []*interval.Profile{profileFor(t, "hmmer", config.Big), profileFor(t, "hmmer", config.Big)},
+	})
+	th := pair.Threads[0]
+	if math.Abs(th.TimeShare-0.5) > 1e-9 {
+		t.Fatalf("time share %g, want 0.5", th.TimeShare)
+	}
+	if math.Abs(th.UopsPerNs-solo.UopsPerNs/2) > 0.05*solo.UopsPerNs {
+		t.Fatalf("time-shared rate %g, want ~%g", th.UopsPerNs, solo.UopsPerNs/2)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	// One libquantum versus twenty on 20s: per-thread rate collapses and
+	// memory latency rises (the paper's 4× access-time observation).
+	solo := solve(t, place(t, "20s", true, "libquantum"))
+	benches := make([]string, 20)
+	for i := range benches {
+		benches[i] = "libquantum"
+	}
+	crowd := solve(t, place(t, "20s", true, benches...))
+	if crowd.Threads[0].UopsPerNs >= solo.Threads[0].UopsPerNs {
+		t.Fatal("no bandwidth contention")
+	}
+	if crowd.MemLatencyNs < 2*solo.MemLatencyNs {
+		t.Fatalf("memory latency %g -> %g, expected to at least double",
+			solo.MemLatencyNs, crowd.MemLatencyNs)
+	}
+	if crowd.BusUtilization < 0.8 {
+		t.Fatalf("bus utilization %g under 20 streaming threads", crowd.BusUtilization)
+	}
+}
+
+func TestLLCSharesSumToCapacity(t *testing.T) {
+	res := solve(t, place(t, "4B", true, "mcf", "soplex", "omnetpp", "libquantum"))
+	var sum float64
+	for _, th := range res.Threads {
+		sum += th.Shares.LLC
+	}
+	llc := float64(8 << 20)
+	if math.Abs(sum-llc)/llc > 0.01 {
+		t.Fatalf("LLC shares sum to %g, want %g", sum, llc)
+	}
+}
+
+func TestCacheHungryThreadWinsLLC(t *testing.T) {
+	// soplex (LLC-hungry) should receive a larger LLC share than hmmer
+	// (fits in private caches) under allocation-weighted competition.
+	res := solve(t, place(t, "4B", true, "soplex", "hmmer"))
+	if res.Threads[0].Shares.LLC <= res.Threads[1].Shares.LLC {
+		t.Fatalf("soplex LLC %g <= hmmer LLC %g",
+			res.Threads[0].Shares.LLC, res.Threads[1].Shares.LLC)
+	}
+}
+
+func TestSameBenchmarkSharesICache(t *testing.T) {
+	// Two copies of one benchmark on an SMT core share code: full L1I each.
+	res := solve(t, Placement{
+		Design:   mustDesign(t, "4B", true),
+		CoreOf:   []int{0, 0},
+		Profiles: []*interval.Profile{profileFor(t, "gcc", config.Big), profileFor(t, "gcc", config.Big)},
+	})
+	if res.Threads[0].Shares.L1I != 32<<10 {
+		t.Fatalf("same-benchmark L1I share %g, want full 32768", res.Threads[0].Shares.L1I)
+	}
+	// Two different benchmarks split it.
+	res = solve(t, Placement{
+		Design:   mustDesign(t, "4B", true),
+		CoreOf:   []int{0, 0},
+		Profiles: []*interval.Profile{profileFor(t, "gcc", config.Big), profileFor(t, "gobmk", config.Big)},
+	})
+	if res.Threads[0].Shares.L1I != 16<<10 {
+		t.Fatalf("distinct-benchmark L1I share %g, want 16384", res.Threads[0].Shares.L1I)
+	}
+}
+
+func TestCoreUtilizationBounded(t *testing.T) {
+	benches := make([]string, 24)
+	for i := range benches {
+		benches[i] = "tonto"
+	}
+	res := solve(t, place(t, "4B", true, benches...))
+	for c, u := range res.CoreUtilization {
+		if u < 0 || u > 1.01 {
+			t.Fatalf("core %d utilization %g", c, u)
+		}
+	}
+}
+
+func TestMoreThreadsMoreChipThroughput(t *testing.T) {
+	// For a compute-bound benchmark, total chip throughput never drops when
+	// threads are added to empty contexts.
+	total := func(n int) float64 {
+		benches := make([]string, n)
+		for i := range benches {
+			benches[i] = "calculix"
+		}
+		res := solve(t, place(t, "4B", true, benches...))
+		var sum float64
+		for _, th := range res.Threads {
+			sum += th.UopsPerNs
+		}
+		return sum
+	}
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8} {
+		cur := total(n)
+		if cur < prev*0.98 {
+			t.Fatalf("throughput fell from %g to %g at n=%d", prev, cur, n)
+		}
+		prev = cur
+	}
+}
+
+func TestHigherBandwidthHelps(t *testing.T) {
+	benches := make([]string, 8)
+	for i := range benches {
+		benches[i] = "libquantum"
+	}
+	p8 := place(t, "4B", true, benches...)
+	res8 := solve(t, p8)
+	p16 := p8
+	p16.Design = p16.Design.WithBandwidth(16)
+	res16 := solve(t, p16)
+	if res16.Threads[0].UopsPerNs <= res8.Threads[0].UopsPerNs {
+		t.Fatalf("doubling bandwidth did not help: %g vs %g",
+			res8.Threads[0].UopsPerNs, res16.Threads[0].UopsPerNs)
+	}
+}
+
+func TestSolveRobustnessProperty(t *testing.T) {
+	// Property: any random placement of known benchmarks on any design
+	// converges to finite, positive per-thread rates with bounded shares.
+	names := workload.Names()
+	designs := config.NineDesigns(true)
+	f := func(seed uint16, nRaw uint8) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*25173 + 13849
+			return int(rng) % n
+		}
+		d := designs[next(len(designs))]
+		nThreads := 1 + int(nRaw)%24
+		p := Placement{Design: d}
+		for i := 0; i < nThreads; i++ {
+			c := next(d.NumCores())
+			bench := names[next(len(names))]
+			p.CoreOf = append(p.CoreOf, c)
+			p.Profiles = append(p.Profiles, profileFor(t, bench, d.Cores[c].Type))
+		}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		var llcSum float64
+		for _, th := range res.Threads {
+			if !(th.UopsPerNs > 0) || math.IsNaN(th.IPC) || math.IsInf(th.IPC, 0) {
+				return false
+			}
+			if th.Shares.L1D <= 0 || th.Shares.LLC <= 0 {
+				return false
+			}
+			llcSum += th.Shares.LLC
+		}
+		if llcSum > float64(d.LLC.SizeBytes)*1.01 {
+			return false
+		}
+		return res.MemLatencyNs >= 45 && !math.IsNaN(res.BusUtilization)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveModelVariants(t *testing.T) {
+	// Every model variant must converge on the same placement.
+	benches := []string{"mcf", "tonto", "soplex", "hmmer", "gcc", "libquantum"}
+	p := place(t, "4B", true, benches...)
+	for _, m := range []Model{
+		{},
+		{EqualLLCShares: true},
+		{FixedMemLatency: true},
+		{FlatVisible: true},
+		{IssueEfficiency: 0.8},
+		{EqualLLCShares: true, FixedMemLatency: true, FlatVisible: true},
+	} {
+		res, err := SolveModel(p, m)
+		if err != nil {
+			t.Fatalf("model %+v: %v", m, err)
+		}
+		for i, th := range res.Threads {
+			if !(th.UopsPerNs > 0) {
+				t.Fatalf("model %+v thread %d rate %g", m, i, th.UopsPerNs)
+			}
+		}
+	}
+	// Fixed latency must be at least as fast as queued for every thread.
+	queued, _ := SolveModel(p, Model{})
+	fixed, _ := SolveModel(p, Model{FixedMemLatency: true})
+	for i := range queued.Threads {
+		if fixed.Threads[i].UopsPerNs < queued.Threads[i].UopsPerNs*0.999 {
+			t.Fatalf("thread %d slower without queueing", i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package contention
+
+import "smtflex/internal/interval"
+
+// Model selects between the solver's default mechanisms and simplified
+// alternatives, enabling ablation studies of the modelling choices: LLC
+// capacity partitioning policy, memory queueing, window-dependent visible
+// latency and SMT issue efficiency.
+type Model struct {
+	// EqualLLCShares replaces allocation-weighted LLC competition with an
+	// equal split across threads.
+	EqualLLCShares bool
+	// FixedMemLatency disables bus/bank queueing: every access sees the
+	// uncontended DRAM latency regardless of load.
+	FixedMemLatency bool
+	// FlatVisible disables the window-dependent visible-latency fraction:
+	// SMT ROB partitioning then no longer increases exposed memory latency.
+	FlatVisible bool
+	// IssueEfficiency overrides interval.SMTIssueEfficiency when positive.
+	IssueEfficiency float64
+}
+
+// DefaultModel returns the calibrated configuration used by Solve.
+func DefaultModel() Model { return Model{} }
+
+// effIssue returns the SMT issue efficiency the model selects.
+func (m Model) effIssue() float64 {
+	if m.IssueEfficiency > 0 {
+		return m.IssueEfficiency
+	}
+	return interval.SMTIssueEfficiency
+}
+
+// memLatency returns the contended (or fixed) DRAM latency in ns.
+func (m Model) memLatency(blocksPerNs, bandwidthGBps float64) float64 {
+	if m.FixedMemLatency {
+		return memLatencyNs(0, bandwidthGBps)
+	}
+	return memLatencyNs(blocksPerNs, bandwidthGBps)
+}
+
+// flatten returns a placement whose profiles ignore the window-dependent
+// visible fraction when the model asks for it.
+func (m Model) flatten(p Placement) Placement {
+	if !m.FlatVisible {
+		return p
+	}
+	out := p
+	out.Profiles = make([]*interval.Profile, len(p.Profiles))
+	for i, prof := range p.Profiles {
+		cp := *prof
+		cp.VisibleMin = 0
+		cp.VisibleMinWindow = 0
+		out.Profiles[i] = &cp
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package core is the library facade: a Simulator that owns the profiling
+// source and the study state, exposes the multi-core design space, evaluates
+// workloads on design points with either engine, and regenerates every
+// table and figure of the paper.
+//
+// Typical use:
+//
+//	sim := core.NewSimulator()
+//	res, _ := sim.RunMix("4B", true, []string{"mcf", "tonto", "hmmer"})
+//	fmt.Println(res.STP)
+//
+//	tab, _ := sim.Figure("fig8")
+//	fmt.Println(tab)
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"smtflex/internal/config"
+	"smtflex/internal/cpu"
+	"smtflex/internal/multicore"
+	"smtflex/internal/parallel"
+	"smtflex/internal/profiler"
+	"smtflex/internal/study"
+	"smtflex/internal/workload"
+)
+
+// Simulator bundles the profiling source and cached study state. It is safe
+// for concurrent use. The zero value is not usable; call NewSimulator.
+type Simulator struct {
+	src *profiler.Source
+	st  *study.Study
+}
+
+// Option configures a Simulator.
+type Option func(*settings)
+
+type settings struct {
+	uopCount      uint64
+	mixesPerCount int
+	seed          int64
+}
+
+// WithUopCount sets the cycle-engine measurement length per profiling run.
+// Larger values give better-calibrated profiles at higher one-time cost.
+func WithUopCount(n uint64) Option {
+	return func(s *settings) { s.uopCount = n }
+}
+
+// WithMixesPerCount sets the number of random heterogeneous mixes evaluated
+// per thread count (the paper uses 12).
+func WithMixesPerCount(n int) Option {
+	return func(s *settings) { s.mixesPerCount = n }
+}
+
+// WithSeed sets the workload-construction seed.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// NewSimulator returns a Simulator with the paper's defaults.
+func NewSimulator(opts ...Option) *Simulator {
+	cfg := settings{uopCount: 200_000, mixesPerCount: 12, seed: 20140301}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	src := profiler.NewSource(cfg.uopCount)
+	st := study.New(src)
+	st.MixesPerCount = cfg.mixesPerCount
+	st.Seed = cfg.seed
+	return &Simulator{src: src, st: st}
+}
+
+// Study exposes the experiment driver layer for advanced use.
+func (s *Simulator) Study() *study.Study { return s.st }
+
+// Source exposes the profiling source for advanced use.
+func (s *Simulator) Source() *profiler.Source { return s.src }
+
+// Benchmarks lists the available multi-program benchmark names.
+func (s *Simulator) Benchmarks() []string { return workload.Names() }
+
+// ParallelApps lists the available multi-threaded application names.
+func (s *Simulator) ParallelApps() []string { return parallel.AppNames() }
+
+// Designs returns the nine power-equivalent design points.
+func (s *Simulator) Designs(smt bool) []config.Design { return config.NineDesigns(smt) }
+
+// RunMix evaluates a multi-program workload (one benchmark name per thread)
+// on the named design using the interval engine, and returns system metrics.
+func (s *Simulator) RunMix(designName string, smt bool, programs []string) (study.MixResult, error) {
+	d, err := config.DesignByName(designName, smt)
+	if err != nil {
+		return study.MixResult{}, err
+	}
+	mix := workload.Mix{ID: "user", Programs: programs}
+	return s.st.EvaluateMix(d, mix)
+}
+
+// RunParallel evaluates a multi-threaded application on the named design
+// with the given software thread count.
+func (s *Simulator) RunParallel(designName string, smt bool, appName string, threads int) (parallel.Result, error) {
+	d, err := config.DesignByName(designName, smt)
+	if err != nil {
+		return parallel.Result{}, err
+	}
+	app, err := parallel.AppByName(appName)
+	if err != nil {
+		return parallel.Result{}, err
+	}
+	return parallel.Evaluate(app, d, threads, s.src)
+}
+
+// RunCycleAccurate co-simulates a multi-program workload on the named design
+// with the detailed cycle engine for the given number of µops per thread,
+// using round-robin thread-to-core placement. It is orders of magnitude
+// slower than RunMix and intended for validation and detailed inspection.
+func (s *Simulator) RunCycleAccurate(designName string, smt bool, programs []string, uops uint64) ([]cpu.ThreadStats, error) {
+	d, err := config.DesignByName(designName, smt)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := multicore.New(d, cpu.Ideal{})
+	if err != nil {
+		return nil, err
+	}
+	mix := workload.Mix{ID: "cycle", Programs: programs}
+	readers, err := mix.Readers(0xC0FFEE)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range readers {
+		if _, err := chip.AttachThread(i%d.NumCores(), r); err != nil {
+			return nil, err
+		}
+	}
+	return chip.Run(uops), nil
+}
+
+// figureFunc builds one table.
+type figureFunc func(*study.Study) (*study.Table, error)
+
+// figureRegistry maps figure/table identifiers to their drivers.
+var figureRegistry = map[string]figureFunc{
+	"table1": func(*study.Study) (*study.Table, error) { return study.Table1(), nil },
+	"fig1":   func(st *study.Study) (*study.Table, error) { return st.Figure1() },
+	"fig2":   func(*study.Study) (*study.Table, error) { return study.Figure2(), nil },
+	"fig3a":  func(st *study.Study) (*study.Table, error) { return st.Figure3(study.Homogeneous) },
+	"fig3b":  func(st *study.Study) (*study.Table, error) { return st.Figure3(study.Heterogeneous) },
+	"fig4a":  func(st *study.Study) (*study.Table, error) { return st.Figure4("tonto") },
+	"fig4b":  func(st *study.Study) (*study.Table, error) { return st.Figure4("libquantum") },
+	"fig5":   func(st *study.Study) (*study.Table, error) { return st.Figure5() },
+	"fig6":   func(st *study.Study) (*study.Table, error) { return st.Figure6() },
+	"fig7":   func(st *study.Study) (*study.Table, error) { return st.Figure7() },
+	"fig8":   func(st *study.Study) (*study.Table, error) { return st.Figure8() },
+	"fig9":   func(st *study.Study) (*study.Table, error) { return st.Figure9() },
+	"fig10a": func(*study.Study) (*study.Table, error) { return study.Figure10a(), nil },
+	"fig10b": func(st *study.Study) (*study.Table, error) { return st.Figure10() },
+	"fig11":  func(st *study.Study) (*study.Table, error) { return st.Figure11() },
+	"fig12a": func(st *study.Study) (*study.Table, error) { return st.Figure12("ROI") },
+	"fig12b": func(st *study.Study) (*study.Table, error) { return st.Figure12("whole") },
+	"fig13a": func(st *study.Study) (*study.Table, error) { return st.Figure13(study.Homogeneous) },
+	"fig13b": func(st *study.Study) (*study.Table, error) { return st.Figure13(study.Heterogeneous) },
+	"fig14":  func(st *study.Study) (*study.Table, error) { return st.Figure14() },
+	"fig15":  func(st *study.Study) (*study.Table, error) { return st.Figure15() },
+	"fig16":  func(st *study.Study) (*study.Table, error) { return st.Figure16() },
+	"fig17a": func(st *study.Study) (*study.Table, error) { return st.Figure17a() },
+	"fig17b": func(st *study.Study) (*study.Table, error) { return st.Figure17b() },
+
+	// Ablations of the modelling decisions (see DESIGN.md) and extensions
+	// from the paper's discussion section.
+	"abl-smteff":  func(st *study.Study) (*study.Table, error) { return st.AblationSMTEfficiency() },
+	"abl-llc":     func(st *study.Study) (*study.Table, error) { return st.AblationLLCPolicy() },
+	"abl-queue":   func(st *study.Study) (*study.Table, error) { return st.AblationQueueing() },
+	"abl-visible": func(st *study.Study) (*study.Table, error) { return st.AblationWindowVisible() },
+	"abl-sched":   func(st *study.Study) (*study.Table, error) { return st.AblationScheduler() },
+	"ext-turbo":   func(st *study.Study) (*study.Table, error) { return st.ExtensionTurboBoost() },
+	"ext-serial":  func(st *study.Study) (*study.Table, error) { return st.ExtensionSerialBoost() },
+}
+
+// FigureIDs lists every reproducible table/figure identifier, sorted.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(figureRegistry))
+	for id := range figureRegistry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Figure regenerates the identified table or figure.
+func (s *Simulator) Figure(id string) (*study.Table, error) {
+	f, ok := figureRegistry[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown figure %q (known: %v)", id, FigureIDs())
+	}
+	return f(s.st)
+}

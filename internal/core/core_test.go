@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	simOnce sync.Once
+	sim     *Simulator
+)
+
+func sharedSim() *Simulator {
+	simOnce.Do(func() { sim = NewSimulator(WithUopCount(60_000)) })
+	return sim
+}
+
+func TestFigureIDsComplete(t *testing.T) {
+	ids := FigureIDs()
+	// Every table and figure of the paper must be reproducible: Table 1,
+	// Figures 1-17 (with sub-figures).
+	want := []string{
+		"table1", "fig1", "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig11",
+		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "fig16",
+		"fig17a", "fig17b",
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("figure %s missing from registry", id)
+		}
+	}
+	// Ablations and extensions ride along in the registry.
+	for _, id := range []string{"abl-smteff", "abl-llc", "abl-queue", "abl-visible", "abl-sched", "ext-turbo", "ext-serial"} {
+		if !have[id] {
+			t.Errorf("ablation/extension %s missing from registry", id)
+		}
+	}
+	if len(ids) != len(want)+7 {
+		t.Errorf("registry has %d entries, want %d", len(ids), len(want)+7)
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	if _, err := sharedSim().Figure("fig99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestStaticFigures(t *testing.T) {
+	s := sharedSim()
+	for _, id := range []string{"table1", "fig2", "fig10a"} {
+		tab, err := s.Figure(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(tab.String(), tab.Title) {
+			t.Fatalf("%s: render missing title", id)
+		}
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	s := sharedSim()
+	res, err := s.RunMix("4B", true, []string{"tonto", "mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.STP <= 0 || res.ANTT < 1 || res.Watts <= 0 {
+		t.Fatalf("implausible result %+v", res)
+	}
+	if _, err := s.RunMix("7B", true, []string{"tonto"}); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	if _, err := s.RunMix("4B", true, []string{"nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	s := sharedSim()
+	res, err := s.RunParallel("8m", true, "ferret", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROINs <= 0 || res.TotalNs < res.ROINs {
+		t.Fatalf("implausible result %+v", res)
+	}
+	if _, err := s.RunParallel("8m", true, "crysis", 8); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunCycleAccurate(t *testing.T) {
+	s := sharedSim()
+	stats, err := s.RunCycleAccurate("4B", true, []string{"hmmer", "tonto"}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("%d stats", len(stats))
+	}
+	for i, st := range stats {
+		if st.Uops < 5000 || st.IPC() <= 0 {
+			t.Fatalf("thread %d: %+v", i, st)
+		}
+	}
+}
+
+func TestListings(t *testing.T) {
+	s := sharedSim()
+	if len(s.Benchmarks()) != 12 {
+		t.Errorf("%d benchmarks", len(s.Benchmarks()))
+	}
+	if len(s.ParallelApps()) != 13 {
+		t.Errorf("%d parallel apps", len(s.ParallelApps()))
+	}
+	if len(s.Designs(true)) != 9 {
+		t.Errorf("%d designs", len(s.Designs(true)))
+	}
+}
+
+func TestOptions(t *testing.T) {
+	s := NewSimulator(WithUopCount(12345), WithMixesPerCount(6), WithSeed(7))
+	if s.Source().UopCount != 12345 {
+		t.Error("uop count option ignored")
+	}
+	if s.Study().MixesPerCount != 6 || s.Study().Seed != 7 {
+		t.Error("study options ignored")
+	}
+}

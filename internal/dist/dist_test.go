@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllDistributionsValid(t *testing.T) {
+	for _, d := range All() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform()
+	for n := 1; n <= MaxThreads; n++ {
+		if w := u.Weight(n); math.Abs(w-1.0/MaxThreads) > 1e-12 {
+			t.Fatalf("uniform weight(%d) = %g", n, w)
+		}
+	}
+	if math.Abs(u.Mean()-12.5) > 1e-9 {
+		t.Fatalf("uniform mean %g, want 12.5", u.Mean())
+	}
+}
+
+func TestWeightOutOfRange(t *testing.T) {
+	u := Uniform()
+	if u.Weight(0) != 0 || u.Weight(25) != 0 || u.Weight(-3) != 0 {
+		t.Fatal("out-of-range weights must be zero")
+	}
+}
+
+func TestDatacenterShape(t *testing.T) {
+	d := Datacenter()
+	// Low-utilization peak: 1 thread is the most likely single count.
+	for n := 2; n <= MaxThreads; n++ {
+		if d.Weight(n) > d.Weight(1) {
+			t.Fatalf("weight(%d)=%g exceeds weight(1)=%g", n, d.Weight(n), d.Weight(1))
+		}
+	}
+	// Second peak around 7-9 threads: weight(8) above the valley at 5.
+	if d.Weight(8) <= d.Weight(5) {
+		t.Fatal("datacenter distribution lacks the 30-40% utilization bump")
+	}
+	// Skewed low: mean well below the midpoint.
+	if d.Mean() >= 12 {
+		t.Fatalf("datacenter mean %g not skewed low", d.Mean())
+	}
+}
+
+func TestMirroredDatacenter(t *testing.T) {
+	dc, mir := Datacenter(), MirroredDatacenter()
+	for n := 1; n <= MaxThreads; n++ {
+		if math.Abs(dc.Weight(n)-mir.Weight(MaxThreads+1-n)) > 1e-12 {
+			t.Fatalf("mirror broken at %d", n)
+		}
+	}
+	if math.Abs(dc.Mean()+mir.Mean()-(MaxThreads+1)) > 1e-9 {
+		t.Fatalf("means %g + %g should sum to 25", dc.Mean(), mir.Mean())
+	}
+	if mir.Mean() <= 12.5 {
+		t.Fatalf("mirrored mean %g not skewed high", mir.Mean())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	var d Distribution
+	d.Name = "zero"
+	if err := d.Validate(); err == nil {
+		t.Error("all-zero distribution accepted")
+	}
+	d = Uniform()
+	d.Weights[0] = -d.Weights[0]
+	if err := d.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

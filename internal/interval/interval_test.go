@@ -1,0 +1,264 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smtflex/internal/cache"
+	"smtflex/internal/config"
+)
+
+// testProfile builds a hand-crafted profile with known curves.
+func testProfile() *Profile {
+	return &Profile{
+		Benchmark:   "synthetic",
+		Core:        config.Big,
+		BaseWindows: []int{21, 64, 128},
+		BaseCPIs:    []float64{0.6, 0.45, 0.4},
+		BrCPI:       0.05,
+		BrMPKU:      3,
+		L1ICPI:      0.02,
+		IBlockAPKU:  80,
+		ICurve: cache.MissCurve{
+			Capacities: []int{64, 512, 4096},
+			Ratios:     []float64{0.5, 0.05, 0.0},
+		},
+		DataAPKU: 400,
+		DCurve: cache.MissCurve{
+			Capacities: []int{128, 512, 4096, 131072},
+			Ratios:     []float64{0.5, 0.3, 0.1, 0.01},
+		},
+		Visible:          0.4,
+		VisibleWindow:    128,
+		VisibleMin:       0.7,
+		VisibleMinWindow: 21,
+	}
+}
+
+func baseShares() Shares {
+	return Shares{
+		L1I: 32 << 10, L1D: 32 << 10, L2: 256 << 10, LLC: 8 << 20,
+		MemLatencyCycles: 140,
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := testProfile().Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	p := testProfile()
+	p.Benchmark = ""
+	if err := p.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	p = testProfile()
+	p.BaseWindows = []int{64, 21}
+	p.BaseCPIs = []float64{1, 2}
+	if err := p.Validate(); err == nil {
+		t.Error("descending windows accepted")
+	}
+	p = testProfile()
+	p.BaseCPIs = p.BaseCPIs[:1]
+	if err := p.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	p = testProfile()
+	p.Visible = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative visible accepted")
+	}
+}
+
+func TestBaseCPIInterpolation(t *testing.T) {
+	p := testProfile()
+	cases := []struct {
+		w    int
+		want float64
+	}{
+		{10, 0.6}, {21, 0.6}, {64, 0.45}, {128, 0.4}, {200, 0.4},
+	}
+	for _, tc := range cases {
+		if got := p.BaseCPI(tc.w); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("BaseCPI(%d) = %g, want %g", tc.w, got, tc.want)
+		}
+	}
+	// Midpoint between 21 and 64.
+	mid := p.BaseCPI(42)
+	if mid <= 0.45 || mid >= 0.6 {
+		t.Errorf("BaseCPI(42) = %g, want between the endpoints", mid)
+	}
+}
+
+func TestVisibleAt(t *testing.T) {
+	p := testProfile()
+	if got := p.VisibleAt(128); got != 0.4 {
+		t.Errorf("VisibleAt(full) = %g", got)
+	}
+	if got := p.VisibleAt(21); got != 0.7 {
+		t.Errorf("VisibleAt(min) = %g", got)
+	}
+	mid := p.VisibleAt(74) // halfway between 21 and 128 ≈ 0.55
+	if mid <= 0.4 || mid >= 0.7 {
+		t.Errorf("VisibleAt(74) = %g not interpolated", mid)
+	}
+	// Without a min calibration, the fraction is constant.
+	p.VisibleMin = 0
+	if got := p.VisibleAt(21); got != 0.4 {
+		t.Errorf("VisibleAt without min = %g", got)
+	}
+}
+
+func TestEvaluateComponents(t *testing.T) {
+	p := testProfile()
+	cc := config.BigCore()
+	st := p.Evaluate(cc, 128, baseShares())
+	if st.Base != 0.4 {
+		t.Errorf("base %g", st.Base)
+	}
+	if st.Branch != 0.05 {
+		t.Errorf("branch %g", st.Branch)
+	}
+	if st.Total() <= st.Base+st.Branch {
+		t.Error("memory components missing")
+	}
+	// Sum identity.
+	sum := st.Base + st.Branch + st.ICache + st.L2 + st.LLC + st.Mem
+	if math.Abs(sum-st.Total()) > 1e-12 {
+		t.Error("Total() != sum of components")
+	}
+}
+
+func TestEvaluateMoreCacheNeverHurts(t *testing.T) {
+	p := testProfile()
+	cc := config.BigCore()
+	sh := baseShares()
+	base := p.Evaluate(cc, 128, sh).Total()
+	sh.LLC *= 2
+	bigger := p.Evaluate(cc, 128, sh).Total()
+	if bigger > base+1e-12 {
+		t.Fatalf("more LLC increased CPI: %g -> %g", base, bigger)
+	}
+	sh = baseShares()
+	sh.L1D /= 4
+	sh.L2 /= 4
+	smaller := p.Evaluate(cc, 128, sh).Total()
+	if smaller < base-1e-12 {
+		t.Fatalf("less private cache decreased CPI: %g -> %g", base, smaller)
+	}
+}
+
+func TestEvaluateMemLatencyMonotone(t *testing.T) {
+	p := testProfile()
+	cc := config.BigCore()
+	sh := baseShares()
+	lo := p.Evaluate(cc, 128, sh).Total()
+	sh.MemLatencyCycles *= 4
+	hi := p.Evaluate(cc, 128, sh).Total()
+	if hi <= lo {
+		t.Fatalf("higher memory latency did not raise CPI: %g vs %g", lo, hi)
+	}
+}
+
+func TestEvaluateSmallerWindowCostsMore(t *testing.T) {
+	p := testProfile()
+	cc := config.BigCore()
+	sh := baseShares()
+	full := p.Evaluate(cc, 128, sh).Total()
+	part := p.Evaluate(cc, 21, sh).Total()
+	if part <= full {
+		t.Fatalf("partitioned window should cost cycles: %g vs %g", full, part)
+	}
+}
+
+func TestMemConstCPIAdded(t *testing.T) {
+	p := testProfile()
+	cc := config.BigCore()
+	base := p.Evaluate(cc, 128, baseShares()).Total()
+	p.MemConstCPI = 0.25
+	withConst := p.Evaluate(cc, 128, baseShares()).Total()
+	if math.Abs(withConst-base-0.25) > 1e-9 {
+		t.Fatalf("const CPI not applied: %g vs %g", base, withConst)
+	}
+}
+
+func TestDRAMAndLLCAccessRates(t *testing.T) {
+	p := testProfile()
+	sh := baseShares()
+	dram := p.DRAMAccessesPerUop(sh)
+	llc := p.LLCAccessesPerUop(sh)
+	if dram <= 0 || llc <= 0 {
+		t.Fatal("zero access rates")
+	}
+	if dram > llc {
+		t.Fatalf("DRAM accesses (%g) exceed LLC accesses (%g)", dram, llc)
+	}
+	// Shrinking the LLC share raises DRAM traffic.
+	sh.LLC = 64 << 10
+	if p.DRAMAccessesPerUop(sh) <= dram {
+		t.Fatal("smaller LLC share did not raise DRAM traffic")
+	}
+}
+
+func TestShareWidth(t *testing.T) {
+	// Demand below capacity: untouched.
+	ipcs := []float64{1, 1.5}
+	ShareWidth(ipcs, 4)
+	if ipcs[0] != 1 || ipcs[1] != 1.5 {
+		t.Fatalf("under-capacity demand scaled: %v", ipcs)
+	}
+	// Demand above capacity: proportional scaling to η·width.
+	ipcs = []float64{3, 3}
+	ShareWidth(ipcs, 4)
+	sum := ipcs[0] + ipcs[1]
+	want := SMTIssueEfficiency * 4
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("scaled sum %g, want %g", sum, want)
+	}
+	if math.Abs(ipcs[0]-ipcs[1]) > 1e-12 {
+		t.Fatal("equal demands scaled unequally")
+	}
+	// Single thread is never scaled.
+	ipcs = []float64{9}
+	ShareWidth(ipcs, 4)
+	if ipcs[0] != 9 {
+		t.Fatal("single thread scaled")
+	}
+}
+
+func TestShareWidthProportionalProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := float64(a)+1, float64(b)+1
+		in := []float64{x, y}
+		ShareWidth(in, 2)
+		// Ratios preserved.
+		return math.Abs(in[0]/in[1]-x/y) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	big := config.BigCore()
+	if got := Partition(big, 1); got != 128 {
+		t.Errorf("Partition(big,1) = %d", got)
+	}
+	if got := Partition(big, 6); got != 21 {
+		t.Errorf("Partition(big,6) = %d", got)
+	}
+	if got := Partition(big, 1000); got != big.Width {
+		t.Errorf("Partition floors at width, got %d", got)
+	}
+	small := config.SmallCore()
+	if got := Partition(small, 2); got != 1 {
+		t.Errorf("Partition(in-order) = %d, want 1", got)
+	}
+}
+
+func TestCPIStackTotal(t *testing.T) {
+	st := CPIStack{Base: 1, Branch: 2, ICache: 3, L2: 4, LLC: 5, Mem: 6}
+	if st.Total() != 21 {
+		t.Fatalf("Total %g", st.Total())
+	}
+}

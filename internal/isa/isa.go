@@ -1,0 +1,124 @@
+// Package isa defines the micro-operation vocabulary shared by the trace
+// generator and the core timing models.
+//
+// The simulator is trace driven: workloads are streams of micro-ops (µops)
+// rather than real machine code. A µop carries only the information the
+// timing models need — its class (which functional unit it occupies and for
+// how long), its register dependencies, and, for memory and control µops,
+// the effective address or branch outcome.
+package isa
+
+import "fmt"
+
+// Class enumerates the µop classes distinguished by the timing models.
+type Class uint8
+
+const (
+	// IntAlu is a simple single-cycle integer operation.
+	IntAlu Class = iota
+	// IntMul is an integer multiply (pipelined, multi-cycle).
+	IntMul
+	// IntDiv is an integer divide (unpipelined, long latency).
+	IntDiv
+	// FpAdd is a floating-point add/sub/compare.
+	FpAdd
+	// FpMul is a floating-point multiply.
+	FpMul
+	// FpDiv is a floating-point divide (unpipelined).
+	FpDiv
+	// Load reads memory.
+	Load
+	// Store writes memory.
+	Store
+	// Branch is a conditional branch.
+	Branch
+	// Jump is an unconditional control transfer (never mispredicted).
+	Jump
+	// NumClasses is the number of µop classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"int_alu", "int_mul", "int_div",
+	"fp_add", "fp_mul", "fp_div",
+	"load", "store", "branch", "jump",
+}
+
+// String returns the lower-case mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsControl reports whether the class redirects the fetch stream.
+func (c Class) IsControl() bool { return c == Branch || c == Jump }
+
+// IsFloat reports whether the class executes on the floating-point unit.
+func (c Class) IsFloat() bool { return c == FpAdd || c == FpMul || c == FpDiv }
+
+// Latency returns the execution latency of the class in cycles on a
+// full-performance pipeline. Functional-unit occupancy for unpipelined units
+// is modelled separately by the core models.
+func (c Class) Latency() int {
+	switch c {
+	case IntAlu, Jump, Branch, Store:
+		return 1
+	case IntMul:
+		return 3
+	case IntDiv:
+		return 20
+	case FpAdd:
+		return 3
+	case FpMul:
+		return 4
+	case FpDiv:
+		return 24
+	case Load:
+		return 2 // L1 hit latency; misses are added by the cache model
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether the functional unit for this class accepts a new
+// µop every cycle. Divides occupy their unit for the full latency.
+func (c Class) Pipelined() bool { return c != IntDiv && c != FpDiv }
+
+// MaxSrcRegs is the maximum number of source registers a µop can name.
+const MaxSrcRegs = 2
+
+// Uop is one micro-operation in a trace.
+//
+// Register identifiers are virtual: the trace generator emits them already
+// renamed, so a source register value is the sequence number distance to the
+// producing µop (dependency distance), which is what the timing models
+// consume. Dest is implicit: every µop except Store/Branch/Jump produces a
+// value consumed via SrcDist.
+type Uop struct {
+	// Class is the µop class.
+	Class Class
+	// SrcDist holds dependency distances: SrcDist[i] = d > 0 means source i
+	// is produced by the µop d positions earlier in the same thread's trace.
+	// Zero means no dependency (or a dependency old enough to be irrelevant).
+	SrcDist [MaxSrcRegs]int32
+	// Addr is the effective address for Load/Store, or the target block
+	// address for instruction fetch modelling of Branch/Jump.
+	Addr uint64
+	// Taken records the branch direction for Branch µops.
+	Taken bool
+	// Mispredict marks Branch µops that the workload model has pre-resolved
+	// as mispredicted under a reference predictor. Core models may either use
+	// this bit or run a live predictor; both paths are supported.
+	Mispredict bool
+	// PC is the instruction's program counter, used for branch predictor
+	// indexing and I-cache modelling.
+	PC uint64
+}
+
+// MemBlockSize is the cache block size in bytes used across the hierarchy.
+const MemBlockSize = 64

@@ -1,0 +1,77 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		IntAlu: "int_alu",
+		IntMul: "int_mul",
+		IntDiv: "int_div",
+		FpAdd:  "fp_add",
+		FpMul:  "fp_mul",
+		FpDiv:  "fp_div",
+		Load:   "load",
+		Store:  "store",
+		Branch: "branch",
+		Jump:   "jump",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, s)
+		}
+	}
+	if got := Class(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range class string %q should mention the value", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.IsMem() != (c == Load || c == Store) {
+			t.Errorf("%v: IsMem wrong", c)
+		}
+		if c.IsControl() != (c == Branch || c == Jump) {
+			t.Errorf("%v: IsControl wrong", c)
+		}
+		if c.IsFloat() != (c == FpAdd || c == FpMul || c == FpDiv) {
+			t.Errorf("%v: IsFloat wrong", c)
+		}
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.Latency() < 1 {
+			t.Errorf("%v: latency %d < 1", c, c.Latency())
+		}
+	}
+}
+
+func TestDividesUnpipelined(t *testing.T) {
+	if IntDiv.Pipelined() || FpDiv.Pipelined() {
+		t.Error("divides must be unpipelined")
+	}
+	for _, c := range []Class{IntAlu, IntMul, FpAdd, FpMul, Load, Store, Branch, Jump} {
+		if !c.Pipelined() {
+			t.Errorf("%v should be pipelined", c)
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if !(IntDiv.Latency() > IntMul.Latency() && IntMul.Latency() > IntAlu.Latency()) {
+		t.Error("integer latency ordering violated")
+	}
+	if !(FpDiv.Latency() > FpMul.Latency() && FpMul.Latency() >= FpAdd.Latency()) {
+		t.Error("FP latency ordering violated")
+	}
+}
+
+func TestMemBlockSizePowerOfTwo(t *testing.T) {
+	if MemBlockSize&(MemBlockSize-1) != 0 {
+		t.Fatalf("block size %d not a power of two", MemBlockSize)
+	}
+}

@@ -1,0 +1,159 @@
+// Package mem models main memory: a DRAM with independent banks and a fixed
+// access time, behind a shared off-chip bus with finite bandwidth. Both the
+// cycle engine and the interval engine's contention solver use it — the
+// cycle engine calls Access per miss, the interval engine uses the queueing
+// helpers to estimate average latency under load.
+package mem
+
+import "fmt"
+
+// Config describes the memory system.
+type Config struct {
+	// Banks is the number of independent DRAM banks.
+	Banks int
+	// AccessTimeCycles is the uncontended bank access time in core cycles.
+	AccessTimeCycles int
+	// BusBandwidthBytesPerCycle is the off-chip bus bandwidth expressed in
+	// bytes per core cycle (e.g. 8 GB/s at 2.66 GHz ≈ 3.0 B/cycle).
+	BusBandwidthBytesPerCycle float64
+	// BlockBytes is the transfer granule (a cache block).
+	BlockBytes int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("mem: banks must be positive, got %d", c.Banks)
+	}
+	if c.AccessTimeCycles <= 0 {
+		return fmt.Errorf("mem: access time must be positive, got %d", c.AccessTimeCycles)
+	}
+	if c.BusBandwidthBytesPerCycle <= 0 {
+		return fmt.Errorf("mem: bus bandwidth must be positive, got %g", c.BusBandwidthBytesPerCycle)
+	}
+	if c.BlockBytes <= 0 {
+		return fmt.Errorf("mem: block size must be positive, got %d", c.BlockBytes)
+	}
+	return nil
+}
+
+// BusCyclesPerBlock returns the bus occupancy of one block transfer.
+func (c Config) BusCyclesPerBlock() float64 {
+	return float64(c.BlockBytes) / c.BusBandwidthBytesPerCycle
+}
+
+// Stats accumulates DRAM activity.
+type Stats struct {
+	Accesses      uint64
+	Writebacks    uint64
+	TotalLatency  uint64 // sum of observed latencies in cycles
+	BusStallTotal uint64 // cycles spent waiting for the bus
+}
+
+// AvgLatency returns the mean observed access latency.
+func (s Stats) AvgLatency() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Accesses)
+}
+
+// DRAM is the cycle-engine memory model. Each bank and the bus are modelled
+// as resources that become free at a known cycle; an access waits for both.
+type DRAM struct {
+	cfg      Config
+	bankFree []uint64
+	busFree  float64
+	// Stats is exported accumulated activity.
+	Stats Stats
+}
+
+// New builds the DRAM model. It panics on invalid configuration, since
+// configurations are static data validated in tests.
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DRAM{cfg: cfg, bankFree: make([]uint64, cfg.Banks)}
+}
+
+// Config returns the memory configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Access issues a block transfer for addr at time now (in cycles) and
+// returns the cycle at which the data is available.
+func (d *DRAM) Access(addr uint64, now uint64) (ready uint64) {
+	bank := int(addr/uint64(d.cfg.BlockBytes)) % d.cfg.Banks
+
+	// Wait for the bus, occupy it for the transfer time.
+	start := float64(now)
+	if d.busFree > start {
+		d.Stats.BusStallTotal += uint64(d.busFree - start)
+		start = d.busFree
+	}
+	d.busFree = start + d.cfg.BusCyclesPerBlock()
+
+	// Wait for the bank, occupy it for the access time.
+	bankStart := uint64(start)
+	if d.bankFree[bank] > bankStart {
+		bankStart = d.bankFree[bank]
+	}
+	ready = bankStart + uint64(d.cfg.AccessTimeCycles)
+	d.bankFree[bank] = ready
+
+	d.Stats.Accesses++
+	d.Stats.TotalLatency += ready - now
+	return ready
+}
+
+// Writeback occupies the bus and a bank for a dirty-eviction write at time
+// now. Writebacks are fire-and-forget: nothing waits on the result, but the
+// bandwidth they consume delays later demand accesses.
+func (d *DRAM) Writeback(addr uint64, now uint64) {
+	bank := int(addr/uint64(d.cfg.BlockBytes)) % d.cfg.Banks
+	start := float64(now)
+	if d.busFree > start {
+		start = d.busFree
+	}
+	d.busFree = start + d.cfg.BusCyclesPerBlock()
+	bankStart := uint64(start)
+	if d.bankFree[bank] > bankStart {
+		bankStart = d.bankFree[bank]
+	}
+	d.bankFree[bank] = bankStart + uint64(d.cfg.AccessTimeCycles)
+	d.Stats.Writebacks++
+}
+
+// QueueLatency estimates the average memory latency (in cycles) under a
+// given offered load using an M/D/1 queueing approximation for the bus plus
+// the fixed bank access time. requestsPerCycle is the aggregate block-miss
+// rate of the whole chip. The interval engine's contention solver calls this.
+func (c Config) QueueLatency(requestsPerCycle float64) float64 {
+	service := c.BusCyclesPerBlock()
+	rho := requestsPerCycle * service
+	// Saturate just below 1 to keep the model finite; the solver interprets
+	// near-saturation latencies as bandwidth-bound operation.
+	const rhoMax = 0.98
+	if rho > rhoMax {
+		rho = rhoMax
+	}
+	// M/D/1 mean wait: rho * s / (2 (1 - rho)).
+	wait := rho * service / (2 * (1 - rho))
+	// Bank contention: with B banks, a fraction 1/B of concurrent requests
+	// collide; approximate added wait as utilization-scaled access time.
+	bankRho := requestsPerCycle * float64(c.AccessTimeCycles) / float64(c.Banks)
+	if bankRho > rhoMax {
+		bankRho = rhoMax
+	}
+	bankWait := bankRho * float64(c.AccessTimeCycles) / (2 * (1 - bankRho))
+	return float64(c.AccessTimeCycles) + service + wait + bankWait
+}
+
+// Utilization returns the bus utilization in [0,1] for an offered load.
+func (c Config) Utilization(requestsPerCycle float64) float64 {
+	u := requestsPerCycle * c.BusCyclesPerBlock()
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,135 @@
+// Package metrics implements the system-level performance metrics of the
+// study: system throughput (STP, also called weighted speedup), average
+// normalized turnaround time (ANTT), harmonic and arithmetic means, speedup
+// and the energy-delay product.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// STP returns the system throughput of a multi-program workload: the sum of
+// per-program progress rates normalized to each program's isolated rate on
+// the reference (big) core. rates and soloRates are in the same units
+// (e.g. µops per nanosecond).
+func STP(rates, soloRates []float64) (float64, error) {
+	if len(rates) != len(soloRates) {
+		return 0, fmt.Errorf("metrics: %d rates vs %d solo rates", len(rates), len(soloRates))
+	}
+	var stp float64
+	for i := range rates {
+		if soloRates[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive solo rate for program %d", i)
+		}
+		stp += rates[i] / soloRates[i]
+	}
+	return stp, nil
+}
+
+// ANTT returns the average normalized turnaround time: the arithmetic mean
+// of per-program slowdowns versus isolated execution on the reference core.
+// A value of 1 means no slowdown; larger is worse.
+func ANTT(rates, soloRates []float64) (float64, error) {
+	if len(rates) != len(soloRates) {
+		return 0, fmt.Errorf("metrics: %d rates vs %d solo rates", len(rates), len(soloRates))
+	}
+	if len(rates) == 0 {
+		return 0, fmt.Errorf("metrics: empty workload")
+	}
+	var sum float64
+	for i := range rates {
+		if rates[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive rate for program %d", i)
+		}
+		sum += soloRates[i] / rates[i]
+	}
+	return sum / float64(len(rates)), nil
+}
+
+// HarmonicMean returns the harmonic mean of vs; it is the correct average
+// for rate metrics such as STP. It returns an error on empty or non-positive
+// input.
+func HarmonicMean(vs []float64) (float64, error) {
+	if len(vs) == 0 {
+		return 0, fmt.Errorf("metrics: harmonic mean of empty slice")
+	}
+	var inv float64
+	for i, v := range vs {
+		if v <= 0 {
+			return 0, fmt.Errorf("metrics: harmonic mean with non-positive value at %d", i)
+		}
+		inv += 1 / v
+	}
+	return float64(len(vs)) / inv, nil
+}
+
+// Mean returns the arithmetic mean, or zero for an empty slice.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Speedup returns newTime-based speedup given baseline and improved
+// execution times.
+func Speedup(baselineSeconds, improvedSeconds float64) (float64, error) {
+	if baselineSeconds <= 0 || improvedSeconds <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive times %g/%g", baselineSeconds, improvedSeconds)
+	}
+	return baselineSeconds / improvedSeconds, nil
+}
+
+// EDP returns the energy-delay product.
+func EDP(energyJoules, delaySeconds float64) float64 { return energyJoules * delaySeconds }
+
+// WeightedAverage returns Σ w[i]·v[i] / Σ w[i]. Weights must be
+// non-negative with a positive sum.
+func WeightedAverage(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("metrics: %d values vs %d weights", len(values), len(weights))
+	}
+	var num, den float64
+	for i := range values {
+		if weights[i] < 0 || math.IsNaN(weights[i]) {
+			return 0, fmt.Errorf("metrics: bad weight at %d", i)
+		}
+		num += values[i] * weights[i]
+		den += weights[i]
+	}
+	if den <= 0 {
+		return 0, fmt.Errorf("metrics: zero total weight")
+	}
+	return num / den, nil
+}
+
+// WeightedHarmonicMean returns the weighted harmonic mean of values, used to
+// average STP across thread-count distributions (STP is a rate metric).
+func WeightedHarmonicMean(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("metrics: %d values vs %d weights", len(values), len(weights))
+	}
+	var inv, den float64
+	for i := range values {
+		if weights[i] < 0 {
+			return 0, fmt.Errorf("metrics: negative weight at %d", i)
+		}
+		if weights[i] == 0 {
+			continue
+		}
+		if values[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive value at %d", i)
+		}
+		inv += weights[i] / values[i]
+		den += weights[i]
+	}
+	if den <= 0 {
+		return 0, fmt.Errorf("metrics: zero total weight")
+	}
+	return den / inv, nil
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSTP(t *testing.T) {
+	stp, err := STP([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(stp, 1.5) {
+		t.Fatalf("STP = %g, want 1.5", stp)
+	}
+}
+
+func TestSTPErrors(t *testing.T) {
+	if _, err := STP([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := STP([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero solo rate accepted")
+	}
+}
+
+func TestANTT(t *testing.T) {
+	antt, err := ANTT([]float64{1, 1}, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(antt, 3) { // slowdowns 2 and 4, mean 3
+		t.Fatalf("ANTT = %g, want 3", antt)
+	}
+	if _, err := ANTT(nil, nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := ANTT([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestSTPAndANTTIdentityAtIsolation(t *testing.T) {
+	// Running each program at its solo rate: STP = n, ANTT = 1.
+	rates := []float64{1.5, 2.5, 0.5}
+	stp, _ := STP(rates, rates)
+	antt, _ := ANTT(rates, rates)
+	if !almost(stp, 3) || !almost(antt, 1) {
+		t.Fatalf("isolation identity violated: stp=%g antt=%g", stp, antt)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	h, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(h, 3/(1+0.5+0.25)) {
+		t.Fatalf("harmonic mean %g", h)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("zero value accepted")
+	}
+}
+
+func TestHarmonicLEArithmeticProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		for i, r := range raw {
+			vs[i] = float64(r) + 1 // positive
+		}
+		h, err := HarmonicMean(vs)
+		if err != nil {
+			return false
+		}
+		return h <= Mean(vs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(10, 5)
+	if err != nil || !almost(s, 2) {
+		t.Fatalf("speedup %g err %v", s, err)
+	}
+	if _, err := Speedup(0, 5); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	if _, err := Speedup(5, 0); err == nil {
+		t.Error("zero improved accepted")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if !almost(EDP(10, 2), 20) {
+		t.Fatal("EDP wrong")
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	v, err := WeightedAverage([]float64{1, 3}, []float64{1, 1})
+	if err != nil || !almost(v, 2) {
+		t.Fatalf("weighted average %g err %v", v, err)
+	}
+	v, err = WeightedAverage([]float64{1, 3}, []float64{3, 1})
+	if err != nil || !almost(v, 1.5) {
+		t.Fatalf("weighted average %g err %v", v, err)
+	}
+	if _, err := WeightedAverage([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedAverage([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := WeightedAverage([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestWeightedHarmonicMean(t *testing.T) {
+	// Equal weights reduce to the plain harmonic mean.
+	vs := []float64{1, 2, 4}
+	w := []float64{1, 1, 1}
+	wh, err := WeightedHarmonicMean(vs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := HarmonicMean(vs)
+	if !almost(wh, h) {
+		t.Fatalf("weighted %g vs plain %g", wh, h)
+	}
+	// Zero-weight entries are ignored even if their value would be invalid.
+	wh, err = WeightedHarmonicMean([]float64{2, -1}, []float64{1, 0})
+	if err != nil || !almost(wh, 2) {
+		t.Fatalf("zero-weight skip: %g err %v", wh, err)
+	}
+	if _, err := WeightedHarmonicMean([]float64{0}, []float64{1}); err == nil {
+		t.Error("non-positive value with positive weight accepted")
+	}
+	if _, err := WeightedHarmonicMean([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestWeightedHarmonicWeightShift(t *testing.T) {
+	// Shifting weight toward the smaller value must lower the mean.
+	lo, _ := WeightedHarmonicMean([]float64{1, 4}, []float64{3, 1})
+	hi, _ := WeightedHarmonicMean([]float64{1, 4}, []float64{1, 3})
+	if lo >= hi {
+		t.Fatalf("weight shift had no effect: %g >= %g", lo, hi)
+	}
+}

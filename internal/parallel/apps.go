@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Apps returns the PARSEC-like application models, sorted by name. The
+// parameters place each application in the qualitative class the paper
+// reports: blackscholes, canneal and raytrace keep all threads active most
+// of the time; bodytrack and swaptions alternate between one and all
+// threads; dedup, ferret and freqmine have strongly varying active thread
+// counts and limited scaling; streamcluster and fluidanimate are
+// barrier-heavy; canneal and streamcluster are memory-bound.
+func Apps() []App {
+	const work = 400e6
+	apps := []App{
+		{Name: "blackscholes", Kernel: "calculix", SeqFraction: 0.12, ROISerialFraction: 0.003,
+			Intervals: 10, Imbalance: 0.04, MaxParallelism: 24, OverheadAlpha: 0.02, WorkUops: work, Seed: 0x11},
+		{Name: "bodytrack", Kernel: "h264ref", SeqFraction: 0.08, ROISerialFraction: 0.06,
+			Intervals: 40, Imbalance: 0.10, MaxParallelism: 24, OverheadAlpha: 0.06, WorkUops: work, Seed: 0x12},
+		{Name: "canneal", Kernel: "omnetpp", SeqFraction: 0.20, ROISerialFraction: 0.004,
+			Intervals: 12, Imbalance: 0.07, MaxParallelism: 24, OverheadAlpha: 0.04, WorkUops: work, Seed: 0x13},
+		{Name: "dedup", Kernel: "bzip2", SeqFraction: 0.08, ROISerialFraction: 0.035,
+			Intervals: 30, Imbalance: 0.45, MaxParallelism: 16, OverheadAlpha: 0.10, WorkUops: work, Seed: 0x14},
+		{Name: "facesim", Kernel: "calculix", SeqFraction: 0.14, ROISerialFraction: 0.012,
+			Intervals: 25, Imbalance: 0.15, MaxParallelism: 20, OverheadAlpha: 0.07, WorkUops: work, Seed: 0x15},
+		{Name: "ferret", Kernel: "gcc", SeqFraction: 0.08, ROISerialFraction: 0.05,
+			Intervals: 30, Imbalance: 0.40, MaxParallelism: 12, OverheadAlpha: 0.12, WorkUops: work, Seed: 0x16},
+		{Name: "fluidanimate", Kernel: "soplex", SeqFraction: 0.10, ROISerialFraction: 0.008,
+			Intervals: 60, Imbalance: 0.12, MaxParallelism: 24, OverheadAlpha: 0.06, WorkUops: work, Seed: 0x17},
+		{Name: "freqmine", Kernel: "gobmk", SeqFraction: 0.10, ROISerialFraction: 0.08,
+			Intervals: 25, Imbalance: 0.30, MaxParallelism: 10, OverheadAlpha: 0.15, WorkUops: work, Seed: 0x18},
+		{Name: "raytrace", Kernel: "hmmer", SeqFraction: 0.22, ROISerialFraction: 0.003,
+			Intervals: 15, Imbalance: 0.05, MaxParallelism: 24, OverheadAlpha: 0.02, WorkUops: work, Seed: 0x19},
+		{Name: "streamcluster", Kernel: "libquantum", SeqFraction: 0.03, ROISerialFraction: 0.012,
+			Intervals: 80, Imbalance: 0.10, MaxParallelism: 24, OverheadAlpha: 0.05, WorkUops: work, Seed: 0x1A},
+		{Name: "swaptions", Kernel: "tonto", SeqFraction: 0.02, ROISerialFraction: 0.01,
+			Intervals: 8, Imbalance: 0.55, MaxParallelism: 24, OverheadAlpha: 0.03, WorkUops: work, Seed: 0x1B},
+		{Name: "vips", Kernel: "h264ref", SeqFraction: 0.07, ROISerialFraction: 0.025,
+			Intervals: 30, Imbalance: 0.20, MaxParallelism: 18, OverheadAlpha: 0.08, WorkUops: work, Seed: 0x1C},
+		{Name: "x264", Kernel: "h264ref", SeqFraction: 0.05, ROISerialFraction: 0.028,
+			Intervals: 40, Imbalance: 0.35, MaxParallelism: 16, OverheadAlpha: 0.08, WorkUops: work, Seed: 0x1D},
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	return apps
+}
+
+// AppByName returns the named application model.
+func AppByName(name string) (App, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("parallel: unknown app %q", name)
+}
+
+// AppNames returns the application names in sorted order.
+func AppNames() []string {
+	as := Apps()
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

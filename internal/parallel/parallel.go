@@ -1,0 +1,241 @@
+// Package parallel models multi-threaded applications in the style of the
+// PARSEC benchmarks: a sequential initialization/finalization phase, a
+// parallel region of interest (ROI) structured as barrier intervals with
+// per-thread work imbalance, serialized sections inside the ROI, and a
+// per-application limit on useful parallelism. These are the mechanisms the
+// paper identifies as the sources of time-varying active thread counts in
+// multi-threaded workloads (threads blocked on barriers and locks yield the
+// processor).
+//
+// Each application names a kernel benchmark spec whose measured profile
+// provides per-thread execution rates on any core type; the fork-join model
+// then computes ROI and whole-program execution times and the
+// time-in-active-thread-count histogram of Figure 1.
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/sched"
+	"smtflex/internal/workload"
+)
+
+// App describes one multi-threaded application.
+type App struct {
+	// Name is the PARSEC benchmark the model imitates.
+	Name string
+	// Kernel is the workload-package benchmark whose profile describes the
+	// per-thread computation.
+	Kernel string
+	// SeqFraction is the fraction of whole-program work in the sequential
+	// initialization/finalization phases (outside the ROI).
+	SeqFraction float64
+	// ROISerialFraction is the fraction of ROI work that is serialized
+	// (critical sections and serial sections between parallel intervals).
+	ROISerialFraction float64
+	// Intervals is the number of barrier intervals in the ROI.
+	Intervals int
+	// Imbalance is the coefficient of variation of per-thread work within a
+	// barrier interval; bigger values mean threads finish at more spread-out
+	// times and wait longer at barriers.
+	Imbalance float64
+	// MaxParallelism caps the number of threads that receive work; extra
+	// threads stay idle (the application does not scale further).
+	MaxParallelism int
+	// OverheadAlpha models parallelization overhead: with w workers the
+	// total ROI work inflates by a factor 1+OverheadAlpha·(w-1) (redundant
+	// computation, communication, lock spinning). Threads stay active but
+	// speedup saturates — the "scales well up to 8 threads, not beyond"
+	// behaviour of the paper's benchmarks.
+	OverheadAlpha float64
+	// WorkUops is the total ROI work.
+	WorkUops float64
+	// Seed drives the deterministic imbalance noise.
+	Seed uint64
+}
+
+// Validate reports parameter errors.
+func (a App) Validate() error {
+	switch {
+	case a.Name == "" || a.Kernel == "":
+		return fmt.Errorf("parallel: app needs name and kernel")
+	case a.SeqFraction < 0 || a.SeqFraction >= 1:
+		return fmt.Errorf("parallel: app %s: seq fraction %g", a.Name, a.SeqFraction)
+	case a.ROISerialFraction < 0 || a.ROISerialFraction >= 1:
+		return fmt.Errorf("parallel: app %s: ROI serial fraction %g", a.Name, a.ROISerialFraction)
+	case a.Intervals <= 0:
+		return fmt.Errorf("parallel: app %s: intervals %d", a.Name, a.Intervals)
+	case a.Imbalance < 0 || a.Imbalance > 1:
+		return fmt.Errorf("parallel: app %s: imbalance %g", a.Name, a.Imbalance)
+	case a.OverheadAlpha < 0 || a.OverheadAlpha > 1:
+		return fmt.Errorf("parallel: app %s: overhead alpha %g", a.Name, a.OverheadAlpha)
+	case a.MaxParallelism <= 0:
+		return fmt.Errorf("parallel: app %s: max parallelism %d", a.Name, a.MaxParallelism)
+	case a.WorkUops <= 0:
+		return fmt.Errorf("parallel: app %s: work %g", a.Name, a.WorkUops)
+	}
+	return nil
+}
+
+// barrierNs is the fixed synchronization cost per barrier crossing.
+const barrierNs = 500
+
+// Result is the outcome of executing an app on a design.
+type Result struct {
+	// ROINs is the parallel region execution time.
+	ROINs float64
+	// TotalNs includes the sequential init/finalize phases.
+	TotalNs float64
+	// Active[k-1] is the fraction of ROI time with exactly k runnable
+	// threads (length 24; counts above 24 clamp).
+	Active [24]float64
+}
+
+// Evaluate runs app with the given software thread count on design d,
+// using pinned scheduling (threads stay on their cores) and executing
+// serial phases on the first (biggest) core.
+func Evaluate(app App, d config.Design, threads int, src sched.ProfileSource) (Result, error) {
+	if err := app.Validate(); err != nil {
+		return Result{}, err
+	}
+	if threads < 1 {
+		return Result{}, fmt.Errorf("parallel: need at least one thread")
+	}
+
+	// Per-thread steady-state rates with all workers active.
+	workers := threads
+	if workers > app.MaxParallelism {
+		workers = app.MaxParallelism
+	}
+	progs := make([]string, workers)
+	for i := range progs {
+		progs[i] = app.Kernel
+	}
+	mix := workload.Mix{ID: fmt.Sprintf("par-%s-%d", app.Name, workers), Programs: progs}
+	placement, err := sched.Place(d, mix, src)
+	if err != nil {
+		return Result{}, err
+	}
+	solved, err := contention.Solve(placement)
+	if err != nil {
+		return Result{}, err
+	}
+	rates := make([]float64, workers)
+	for i := range rates {
+		rates[i] = solved.Threads[i].UopsPerNs
+		if rates[i] <= 0 {
+			return Result{}, fmt.Errorf("parallel: thread %d has zero rate", i)
+		}
+	}
+
+	// Serial work runs alone on the first core (the biggest).
+	serialRate, err := soloRate(app.Kernel, d, src)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	inflate := 1 + app.OverheadAlpha*float64(workers-1)
+	parWork := app.WorkUops * (1 - app.ROISerialFraction) * inflate
+	serialWork := app.WorkUops * app.ROISerialFraction
+	perInterval := parWork / float64(app.Intervals) / float64(workers)
+	serialPerInterval := serialWork / float64(app.Intervals)
+
+	noise := noiseSource{seed: app.Seed}
+	finish := make([]float64, workers)
+	for k := 0; k < app.Intervals; k++ {
+		// Parallel section: each worker gets imbalanced work.
+		for i := range finish {
+			w := perInterval * noise.factor(k, i, app.Imbalance)
+			finish[i] = w / rates[i]
+		}
+		sort.Float64s(finish)
+		intervalTime := finish[workers-1]
+		// Accumulate active-thread time: between the (j-1)-th and j-th
+		// ordered completion, workers-j+... threads are still running.
+		prev := 0.0
+		for j, t := range finish {
+			activeCount := workers - j
+			res.addActive(activeCount, t-prev)
+			prev = t
+		}
+		res.ROINs += intervalTime + barrierNs
+		res.addActive(1, barrierNs) // barrier exit is serialized briefly
+		// Serialized section between intervals runs on the big core alone.
+		if serialPerInterval > 0 {
+			t := serialPerInterval / serialRate
+			res.ROINs += t
+			res.addActive(1, t)
+		}
+	}
+
+	// Whole program: sequential init/finalize on the big core.
+	seqWork := app.WorkUops * app.SeqFraction / (1 - app.SeqFraction)
+	res.TotalNs = res.ROINs + seqWork/serialRate
+
+	// Normalize the histogram to fractions of ROI time.
+	var total float64
+	for _, v := range res.Active {
+		total += v
+	}
+	if total > 0 {
+		for i := range res.Active {
+			res.Active[i] /= total
+		}
+	}
+	return res, nil
+}
+
+func (r *Result) addActive(count int, duration float64) {
+	if duration <= 0 {
+		return
+	}
+	if count < 1 {
+		count = 1
+	}
+	if count > len(r.Active) {
+		count = len(r.Active)
+	}
+	r.Active[count-1] += duration
+}
+
+// soloRate is the kernel's isolated rate on the design's first core.
+func soloRate(kernel string, d config.Design, src sched.ProfileSource) (float64, error) {
+	mix := workload.Mix{ID: "par-solo", Programs: []string{kernel}}
+	placement, err := sched.Place(d, mix, src)
+	if err != nil {
+		return 0, err
+	}
+	// Pin to core 0 explicitly: Place puts a single thread there already
+	// (cores are ordered big first).
+	solved, err := contention.Solve(placement)
+	if err != nil {
+		return 0, err
+	}
+	return solved.Threads[0].UopsPerNs, nil
+}
+
+// noiseSource produces deterministic per-(interval,thread) work factors
+// with mean 1 and the requested coefficient of variation.
+type noiseSource struct{ seed uint64 }
+
+func (n noiseSource) factor(interval, thread int, cv float64) float64 {
+	if cv == 0 {
+		return 1
+	}
+	x := n.seed ^ uint64(interval)*0x9E3779B97F4A7C15 ^ uint64(thread)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0x94D049BB133111EB
+	x ^= x >> 27
+	u := float64(x>>11) / (1 << 53) // uniform [0,1)
+	// Uniform on [1-√3·cv, 1+√3·cv] has mean 1 and stddev cv.
+	f := 1 + math.Sqrt(3)*cv*(2*u-1)
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}

@@ -1,0 +1,206 @@
+package parallel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"smtflex/internal/config"
+	"smtflex/internal/profiler"
+)
+
+var (
+	srcOnce sync.Once
+	src     *profiler.Source
+)
+
+func source() *profiler.Source {
+	srcOnce.Do(func() { src = profiler.NewSource(60_000) })
+	return src
+}
+
+func mustApp(t *testing.T, name string) App {
+	t.Helper()
+	a, err := AppByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustEval(t *testing.T, app App, design string, smt bool, threads int) Result {
+	t.Helper()
+	d, err := config.DesignByName(design, smt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(app, d, threads, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAppsValid(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 13 {
+		t.Fatalf("%d apps, want 13 (the PARSEC suite)", len(apps))
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestAppByName(t *testing.T) {
+	if _, err := AppByName("ferret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppByName("fortnite"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	names := AppNames()
+	if len(names) != 13 {
+		t.Fatalf("%d names", len(names))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := mustApp(t, "ferret")
+	mutations := []func(*App){
+		func(a *App) { a.Name = "" },
+		func(a *App) { a.SeqFraction = 1 },
+		func(a *App) { a.ROISerialFraction = -0.1 },
+		func(a *App) { a.Intervals = 0 },
+		func(a *App) { a.Imbalance = 2 },
+		func(a *App) { a.OverheadAlpha = -1 },
+		func(a *App) { a.MaxParallelism = 0 },
+		func(a *App) { a.WorkUops = 0 },
+	}
+	for i, mutate := range mutations {
+		a := base
+		mutate(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSpeedupWithThreads(t *testing.T) {
+	// A well-scaling app gets faster with more threads on 20s.
+	app := mustApp(t, "blackscholes")
+	t4 := mustEval(t, app, "20s", false, 4).ROINs
+	t16 := mustEval(t, app, "20s", false, 16).ROINs
+	if t16 >= t4 {
+		t.Fatalf("no scaling: 4 threads %g ns, 16 threads %g ns", t4, t16)
+	}
+	if sp := t4 / t16; sp < 2 {
+		t.Fatalf("blackscholes speedup 4->16 threads only %.2f", sp)
+	}
+}
+
+func TestLimitedScalingSaturates(t *testing.T) {
+	// ferret (MaxParallelism 12): 24 threads no better than 12.
+	app := mustApp(t, "ferret")
+	t12 := mustEval(t, app, "20s", false, 12).ROINs
+	t24 := mustEval(t, app, "20s", true, 24).ROINs
+	if t24 < t12*0.95 {
+		t.Fatalf("ferret should not scale past 12 threads: %g vs %g", t12, t24)
+	}
+}
+
+func TestROILessThanTotal(t *testing.T) {
+	for _, name := range AppNames() {
+		res := mustEval(t, mustApp(t, name), "4B", true, 8)
+		if res.TotalNs <= res.ROINs {
+			t.Errorf("%s: whole-program time %g <= ROI %g", name, res.TotalNs, res.ROINs)
+		}
+	}
+}
+
+func TestActiveHistogramNormalized(t *testing.T) {
+	res := mustEval(t, mustApp(t, "fluidanimate"), "20s", false, 20)
+	var sum float64
+	for _, v := range res.Active {
+		if v < 0 {
+			t.Fatal("negative histogram entry")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram sums to %g", sum)
+	}
+}
+
+func TestWellScalingAppMostlyAllActive(t *testing.T) {
+	res := mustEval(t, mustApp(t, "blackscholes"), "20s", false, 20)
+	if res.Active[19] < 0.5 {
+		t.Fatalf("blackscholes 20-active fraction %.2f, want most of the time", res.Active[19])
+	}
+}
+
+func TestSerialAppOftenSingleActive(t *testing.T) {
+	res := mustEval(t, mustApp(t, "freqmine"), "20s", false, 20)
+	if res.Active[0] < 0.1 {
+		t.Fatalf("freqmine 1-active fraction %.2f, want substantial serial time", res.Active[0])
+	}
+	if res.Active[19] > 0.1 {
+		t.Fatalf("freqmine should not keep 20 threads active (max parallelism 10), got %.2f", res.Active[19])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := mustEval(t, mustApp(t, "dedup"), "1B6m", true, 12)
+	b := mustEval(t, mustApp(t, "dedup"), "1B6m", true, 12)
+	if a.ROINs != b.ROINs || a.TotalNs != b.TotalNs {
+		t.Fatal("evaluation not deterministic")
+	}
+}
+
+func TestImbalanceCostsTime(t *testing.T) {
+	app := mustApp(t, "blackscholes")
+	app.Imbalance = 0
+	balanced := mustEval(t, app, "20s", false, 20).ROINs
+	app.Imbalance = 0.5
+	app.Seed = 0x77
+	imbalanced := mustEval(t, app, "20s", false, 20).ROINs
+	if imbalanced <= balanced {
+		t.Fatalf("imbalance free: %g vs %g", balanced, imbalanced)
+	}
+}
+
+func TestSerialPhaseRunsFasterOnBigCore(t *testing.T) {
+	// Same app, same thread count: a design with a big core finishes the
+	// whole program (with its serial phases) faster than 20s when the ROI
+	// time is comparable.
+	app := mustApp(t, "raytrace") // large sequential init
+	on20s := mustEval(t, app, "20s", false, 16)
+	on1B := mustEval(t, app, "1B15s", false, 16)
+	seq20s := on20s.TotalNs - on20s.ROINs
+	seq1B := on1B.TotalNs - on1B.ROINs
+	if seq1B >= seq20s {
+		t.Fatalf("serial phase not faster on the big core: %g vs %g", seq1B, seq20s)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	d, _ := config.DesignByName("4B", true)
+	if _, err := Evaluate(App{}, d, 4, source()); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+	if _, err := Evaluate(mustApp(t, "vips"), d, 0, source()); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}
+
+func TestOverheadAlphaSlowsScaling(t *testing.T) {
+	app := mustApp(t, "blackscholes")
+	app.OverheadAlpha = 0
+	ideal := mustEval(t, app, "20s", false, 20).ROINs
+	app.OverheadAlpha = 0.2
+	heavy := mustEval(t, app, "20s", false, 20).ROINs
+	if heavy <= ideal*1.5 {
+		t.Fatalf("overhead alpha had little effect: %g vs %g", ideal, heavy)
+	}
+}

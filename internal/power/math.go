@@ -1,0 +1,6 @@
+package power
+
+import "math"
+
+// mathPow isolates the math dependency for CoreWatts' frequency scaling.
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,143 @@
+// Package power implements the McPAT-like activity-based power model of the
+// study. Per-core power is static (leakage plus clock tree, paid while the
+// core is powered on) plus dynamic power proportional to pipeline
+// utilization. Idle cores can be power gated to zero, as the paper assumes
+// when evaluating energy efficiency. The uncore (shared LLC, interconnect
+// and DRAM interface) draws constant power whenever the chip is on.
+//
+// The coefficients are calibrated to the paper's published anchors: a single
+// active big/medium/small core draws 17.3/13.5/9.8 W including the ~7 W
+// uncore; the homogeneous configurations draw roughly 46/50/45 W running 24
+// threads; and one big core is power-equivalent to two medium or five small
+// cores. Absolute watts are approximate by construction — the shapes of the
+// power/energy comparisons are what the model preserves.
+package power
+
+import (
+	"fmt"
+
+	"smtflex/internal/config"
+)
+
+// UncoreWatts is the constant power of the shared LLC, crossbar and DRAM
+// interface (the paper reports approximately 7 W).
+const UncoreWatts = 7.0
+
+// coreCoeff holds the calibrated static and peak-dynamic power of one core.
+type coreCoeff struct {
+	staticW  float64
+	dynamicW float64 // at utilization 1.0 and base frequency
+}
+
+// coeffs are calibrated at 45 nm, 2.66 GHz (see package comment).
+var coeffs = [config.NumCoreTypes]coreCoeff{
+	config.Big:    {staticW: 8.0, dynamicW: 6.2},
+	config.Medium: {staticW: 4.2, dynamicW: 4.9},
+	config.Small:  {staticW: 1.55, dynamicW: 3.2},
+}
+
+// frequencyExponent scales dynamic power with frequency (≈ linear in f at
+// fixed voltage; the high-frequency design points also need a voltage bump,
+// folded into a superlinear exponent).
+const frequencyExponent = 1.6
+
+// CoreWatts returns the power of core cc at the given pipeline utilization
+// (Σ IPC / width across its threads, in [0,1]). Powered-off (gated) cores
+// consume zero; call it only for active cores.
+func CoreWatts(cc config.Core, utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	co := coeffs[cc.Type]
+	fScale := 1.0
+	if cc.FrequencyGHz != config.BaseFrequencyGHz {
+		r := cc.FrequencyGHz / config.BaseFrequencyGHz
+		fScale = pow(r, frequencyExponent)
+	}
+	// Larger private caches (the _lc design points) add static and dynamic
+	// power proportional to the extra capacity versus the type's baseline.
+	cacheScale := cacheSizeScale(cc)
+	return co.staticW*fScale*cacheScale + co.dynamicW*fScale*cacheScale*utilization
+}
+
+// cacheSizeScale grows core power with private cache capacity relative to
+// the Table 1 baseline for the core's type (caches are roughly 30% of core
+// power at baseline).
+func cacheSizeScale(cc config.Core) float64 {
+	base := config.CoreOfType(cc.Type)
+	baseBytes := float64(base.L1I.SizeBytes + base.L1D.SizeBytes + base.L2.SizeBytes)
+	curBytes := float64(cc.L1I.SizeBytes + cc.L1D.SizeBytes + cc.L2.SizeBytes)
+	const cacheFraction = 0.30
+	return 1 + cacheFraction*(curBytes/baseBytes-1)
+}
+
+// pow is a minimal float power for positive bases (avoids importing math in
+// the hot path; exactness is irrelevant at model accuracy).
+func pow(base, exp float64) float64 {
+	// base^exp = e^(exp ln base); use the stdlib via a tiny wrapper to keep
+	// the call sites readable.
+	return mathPow(base, exp)
+}
+
+// ChipState describes the chip's activity for a power computation.
+type ChipState struct {
+	// Design is the design point.
+	Design config.Design
+	// CoreUtilization[c] is core c's pipeline utilization; length must
+	// equal the design's core count.
+	CoreUtilization []float64
+	// CoreActive[c] reports whether core c has any thread (inactive cores
+	// are power gated when Gating is set).
+	CoreActive []bool
+	// Gating power-gates idle cores; without it idle cores still pay
+	// static power.
+	Gating bool
+}
+
+// Validate reports structural errors.
+func (s ChipState) Validate() error {
+	n := s.Design.NumCores()
+	if len(s.CoreUtilization) != n || len(s.CoreActive) != n {
+		return fmt.Errorf("power: state arrays (%d,%d) do not match %d cores",
+			len(s.CoreUtilization), len(s.CoreActive), n)
+	}
+	return nil
+}
+
+// ChipWatts returns total chip power for the state.
+func ChipWatts(s ChipState) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	total := UncoreWatts
+	for i, cc := range s.Design.Cores {
+		if s.CoreActive[i] {
+			total += CoreWatts(cc, s.CoreUtilization[i])
+		} else if !s.Gating {
+			total += CoreWatts(cc, 0)
+		}
+	}
+	return total, nil
+}
+
+// EnergyJoules returns the energy of running for the given time at the
+// state's power.
+func EnergyJoules(s ChipState, seconds float64) (float64, error) {
+	w, err := ChipWatts(s)
+	if err != nil {
+		return 0, err
+	}
+	return w * seconds, nil
+}
+
+// EDP returns the energy-delay product for a run of the given duration.
+func EDP(s ChipState, seconds float64) (float64, error) {
+	e, err := EnergyJoules(s, seconds)
+	if err != nil {
+		return 0, err
+	}
+	return e * seconds, nil
+}

@@ -1,0 +1,192 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smtflex/internal/config"
+)
+
+func TestSingleCoreAnchors(t *testing.T) {
+	// Paper anchors: one active big/medium/small core draws 17.3/13.5/9.8 W
+	// including the ~7 W uncore. Our model is calibrated at the measured
+	// single-thread utilizations; accept ±20%.
+	anchors := []struct {
+		ct   config.CoreType
+		util float64
+		want float64
+	}{
+		// Utilizations are the measured single-thread operating points of
+		// the respective homogeneous configurations.
+		{config.Big, 0.264, 17.3},
+		{config.Medium, 0.326, 13.5},
+		{config.Small, 0.142, 9.8},
+	}
+	for _, a := range anchors {
+		got := CoreWatts(config.CoreOfType(a.ct), a.util) + UncoreWatts
+		if got < a.want*0.8 || got > a.want*1.2 {
+			t.Errorf("%v @ util %.2f: %.1f W, paper %.1f W", a.ct, a.util, got, a.want)
+		}
+	}
+}
+
+func TestPowerEquivalence(t *testing.T) {
+	// 1 big ≈ 2 medium ≈ 5 small at each type's measured full-chip
+	// operating utilization (in-order small cores sustain a much lower
+	// IPC/width than the big OoO core, which is what makes five of them
+	// power-equivalent).
+	big := CoreWatts(config.BigCore(), 0.284)
+	med := CoreWatts(config.MediumCore(), 0.241)
+	small := CoreWatts(config.SmallCore(), 0.110)
+	if r := 2 * med / big; r < 0.8 || r > 1.3 {
+		t.Errorf("2 medium / 1 big power ratio %.2f", r)
+	}
+	if r := 5 * small / big; r < 0.8 || r > 1.3 {
+		t.Errorf("5 small / 1 big power ratio %.2f", r)
+	}
+}
+
+func TestUtilizationMonotone(t *testing.T) {
+	cc := config.BigCore()
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.1 {
+		w := CoreWatts(cc, u)
+		if w <= prev {
+			t.Fatalf("power not increasing at util %.1f", u)
+		}
+		prev = w
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	cc := config.BigCore()
+	if CoreWatts(cc, -1) != CoreWatts(cc, 0) {
+		t.Error("negative utilization not clamped")
+	}
+	if CoreWatts(cc, 2) != CoreWatts(cc, 1) {
+		t.Error("over-unity utilization not clamped")
+	}
+}
+
+func TestFrequencyScaling(t *testing.T) {
+	hf := config.MediumCore()
+	hf.FrequencyGHz = 3.33
+	base := CoreWatts(config.MediumCore(), 0.5)
+	boosted := CoreWatts(hf, 0.5)
+	ratio := boosted / base
+	// Superlinear in frequency: more than 3.33/2.66 = 1.25.
+	if ratio < 1.25 || ratio > 2.0 {
+		t.Fatalf("frequency power scaling %.2f", ratio)
+	}
+}
+
+func TestLargerCachesCostPower(t *testing.T) {
+	lc := config.SmallCore()
+	lc.L1I = config.BigCore().L1I
+	lc.L1D = config.BigCore().L1D
+	lc.L2 = config.BigCore().L2
+	if CoreWatts(lc, 0.5) <= CoreWatts(config.SmallCore(), 0.5) {
+		t.Fatal("larger private caches are free")
+	}
+}
+
+func chipState(name string, smt bool, active int, util float64, gating bool) ChipState {
+	d, _ := config.DesignByName(name, smt)
+	st := ChipState{
+		Design:          d,
+		CoreUtilization: make([]float64, d.NumCores()),
+		CoreActive:      make([]bool, d.NumCores()),
+		Gating:          gating,
+	}
+	for i := 0; i < active; i++ {
+		st.CoreActive[i] = true
+		st.CoreUtilization[i] = util
+	}
+	return st
+}
+
+func TestChipWattsGating(t *testing.T) {
+	gated, err := ChipWatts(chipState("4B", true, 1, 0.2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ungated, err := ChipWatts(chipState("4B", true, 1, 0.2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated >= ungated {
+		t.Fatalf("gating saved nothing: %g vs %g", gated, ungated)
+	}
+	// Difference = static power of 3 idle big cores.
+	idleStatic := 3 * CoreWatts(config.BigCore(), 0)
+	if math.Abs((ungated-gated)-idleStatic) > 1e-9 {
+		t.Fatalf("gating delta %g, want %g", ungated-gated, idleStatic)
+	}
+}
+
+func TestChipWattsIncludesUncore(t *testing.T) {
+	w, err := ChipWatts(chipState("20s", true, 0, 0, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != UncoreWatts {
+		t.Fatalf("all-gated chip draws %g, want uncore %g", w, UncoreWatts)
+	}
+}
+
+func TestFullLoadEnvelope(t *testing.T) {
+	// All-active homogeneous configurations at representative 24-thread
+	// utilizations land in the paper's 45-50 W envelope (±20%).
+	cases := []struct {
+		name string
+		util float64
+		want float64
+	}{
+		// Measured 24-thread utilizations of the homogeneous configurations.
+		{"4B", 0.284, 46},
+		{"8m", 0.241, 50},
+		{"20s", 0.110, 45},
+	}
+	for _, tc := range cases {
+		d, _ := config.DesignByName(tc.name, true)
+		w, err := ChipWatts(chipState(tc.name, true, d.NumCores(), tc.util, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < tc.want*0.8 || w > tc.want*1.2 {
+			t.Errorf("%s full load %.1f W, paper ~%.0f W", tc.name, w, tc.want)
+		}
+	}
+}
+
+func TestChipStateValidate(t *testing.T) {
+	st := chipState("4B", true, 1, 0.5, true)
+	st.CoreUtilization = st.CoreUtilization[:2]
+	if _, err := ChipWatts(st); err == nil {
+		t.Fatal("mismatched arrays accepted")
+	}
+}
+
+func TestEnergyAndEDP(t *testing.T) {
+	st := chipState("4B", true, 4, 0.5, true)
+	w, _ := ChipWatts(st)
+	e, err := EnergyJoules(st, 2)
+	if err != nil || math.Abs(e-2*w) > 1e-9 {
+		t.Fatalf("energy %g, want %g", e, 2*w)
+	}
+	edp, err := EDP(st, 2)
+	if err != nil || math.Abs(edp-4*w) > 1e-9 {
+		t.Fatalf("EDP %g, want %g", edp, 4*w)
+	}
+}
+
+func TestCoreWattsPositiveProperty(t *testing.T) {
+	f := func(u float64, ct uint8) bool {
+		cc := config.CoreOfType(config.CoreType(ct % 3))
+		return CoreWatts(cc, u) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

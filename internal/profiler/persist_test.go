@@ -1,0 +1,60 @@
+package profiler
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smtflex/internal/config"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	src := source()
+	orig := src.Profile(spec(t, "tonto"), config.Big)
+	origSmall := src.Profile(spec(t, "mcf"), config.Small)
+
+	var buf bytes.Buffer
+	if err := src.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewSource(1) // tiny source: loaded profiles must shadow measurement
+	n, err := fresh.LoadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("loaded %d profiles", n)
+	}
+	got := fresh.Profile(spec(t, "tonto"), config.Big)
+	if !reflect.DeepEqual(*got, *orig) {
+		t.Fatal("tonto profile did not survive the roundtrip")
+	}
+	gotSmall := fresh.Profile(spec(t, "mcf"), config.Small)
+	if !reflect.DeepEqual(*gotSmall, *origSmall) {
+		t.Fatal("mcf profile did not survive the roundtrip")
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	s := NewSource(1)
+	if _, err := s.LoadJSON(strings.NewReader(`{"version":99,"profiles":[]}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := NewSource(1)
+	if _, err := s.LoadJSON(strings.NewReader(`{"version":1,`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := s.LoadJSON(strings.NewReader(
+		`{"version":1,"profiles":[{"benchmark":"x","core":"giant","profile":{}}]}`)); err == nil {
+		t.Fatal("unknown core type accepted")
+	}
+	if _, err := s.LoadJSON(strings.NewReader(
+		`{"version":1,"profiles":[{"benchmark":"x","core":"big","profile":{}}]}`)); err == nil {
+		t.Fatal("invalid profile body accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Package sched maps the threads of a workload onto the cores of a design
+// point, following the paper's scheduling principles: schedule threads on
+// the big cores before the small ones, spread threads across cores before
+// engaging SMT, and use offline analysis (here: the interval model) to pick
+// which thread goes to which core and which threads co-run on an SMT core.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/interval"
+	"smtflex/internal/trace"
+	"smtflex/internal/workload"
+)
+
+// ProfileSource provides benchmark profiles per core type; package profiler
+// implements it.
+type ProfileSource interface {
+	Profile(spec trace.Spec, ct config.CoreType) *interval.Profile
+}
+
+// soloIPC estimates a thread's isolated IPC on core cc with a full window
+// and uncontended memory — the "offline analysis" signal.
+func soloIPC(p *interval.Profile, cc config.Core) float64 {
+	sh := interval.Shares{
+		L1I: float64(cc.L1I.SizeBytes),
+		L1D: float64(cc.L1D.SizeBytes),
+		L2:  float64(cc.L2.SizeBytes),
+		LLC: float64(config.LLCConfig().SizeBytes),
+		// Uncontended: 45ns at the core's frequency plus one bus transfer.
+		MemLatencyCycles: 45*cc.FrequencyGHz + 64/(8.0/cc.FrequencyGHz),
+	}
+	w := cc.ROBSize
+	if !cc.OutOfOrder {
+		w = 2 * cc.Width
+	}
+	return 1 / p.Evaluate(cc, w, sh).Total()
+}
+
+// Place builds a contention.Placement for the mix on the design.
+//
+// Phase 1 gives each thread its own core while cores remain, big cores
+// first, assigning the threads that benefit most from a big core (highest
+// big-to-own-type IPC ratio) to the biggest cores. Phase 2 (more threads
+// than cores) adds each remaining thread to the core where the projected
+// marginal chip throughput is highest, respecting SMT context limits; with
+// SMT disabled, excess threads time-share, filling big cores first.
+func Place(d config.Design, mix workload.Mix, src ProfileSource) (contention.Placement, error) {
+	if err := d.Validate(); err != nil {
+		return contention.Placement{}, err
+	}
+	n := mix.NumThreads()
+	if n == 0 {
+		return contention.Placement{}, fmt.Errorf("sched: empty mix %s", mix.ID)
+	}
+
+	// Resolve specs and profiles per core type present in the design.
+	specs := make([]trace.Spec, n)
+	for i, name := range mix.Programs {
+		s, err := workload.ByName(name)
+		if err != nil {
+			return contention.Placement{}, err
+		}
+		specs[i] = s
+	}
+	types := map[config.CoreType]bool{}
+	for _, cc := range d.Cores {
+		types[cc.Type] = true
+	}
+	prof := make([]map[config.CoreType]*interval.Profile, n)
+	for i := range prof {
+		prof[i] = make(map[config.CoreType]*interval.Profile)
+		for t := range types {
+			prof[i][t] = src.Profile(specs[i], t)
+		}
+	}
+
+	// Offline signal: solo IPC of each thread on each core of the design.
+	ipcOn := make([]map[config.CoreType]float64, n)
+	typeCfg := map[config.CoreType]config.Core{}
+	for _, cc := range d.Cores {
+		if _, ok := typeCfg[cc.Type]; !ok {
+			typeCfg[cc.Type] = cc
+		}
+	}
+	for i := range ipcOn {
+		ipcOn[i] = make(map[config.CoreType]float64)
+		for t, cc := range typeCfg {
+			ipcOn[i][t] = soloIPC(prof[i][t], cc)
+		}
+	}
+
+	coreOf := make([]int, n)
+	for i := range coreOf {
+		coreOf[i] = -1
+	}
+	perCore := make([][]int, len(d.Cores))
+
+	// Phase 1: one thread per core, big cores first. Order threads by how
+	// much they gain from the biggest core type relative to the smallest
+	// present, so big-core-sensitive threads land on big cores.
+	smallest := d.Cores[len(d.Cores)-1].Type
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := order[a], order[b]
+		ra := ipcOn[ta][d.Cores[0].Type] / ipcOn[ta][smallest]
+		rb := ipcOn[tb][d.Cores[0].Type] / ipcOn[tb][smallest]
+		return ra > rb
+	})
+	phase1 := n
+	if phase1 > len(d.Cores) {
+		phase1 = len(d.Cores)
+	}
+	for k := 0; k < phase1; k++ {
+		ti := order[k]
+		coreOf[ti] = k
+		perCore[k] = append(perCore[k], ti)
+	}
+
+	// Phase 2: place remaining threads by best marginal throughput. The
+	// tiny occupancy penalty breaks exact ties (identical threads under
+	// time sharing have zero marginal gain everywhere) toward the least
+	// loaded core, i.e. round-robin.
+	const tieBreak = 1e-6
+	for k := phase1; k < n; k++ {
+		ti := order[k]
+		best, bestGain := -1, 0.0
+		for c := 0; c < len(d.Cores); c++ {
+			gain := marginalGain(d, c, perCore[c], ti, ipcOn, prof) -
+				tieBreak*float64(len(perCore[c]))
+			if best < 0 || gain > bestGain {
+				best, bestGain = c, gain
+			}
+		}
+		coreOf[ti] = best
+		perCore[best] = append(perCore[best], ti)
+	}
+
+	profiles := make([]*interval.Profile, n)
+	for i := range profiles {
+		profiles[i] = prof[i][d.Cores[coreOf[i]].Type]
+	}
+	return contention.Placement{Design: d, CoreOf: coreOf, Profiles: profiles}, nil
+}
+
+// marginalGain projects the change in core throughput (µops per ns) from
+// adding thread ti to core c.
+func marginalGain(d config.Design, c int, residents []int, ti int,
+	ipcOn []map[config.CoreType]float64,
+	prof []map[config.CoreType]*interval.Profile) float64 {
+
+	cc := d.Cores[c]
+	before := coreThroughput(d, cc, residents, nil, ipcOn, prof)
+	after := coreThroughput(d, cc, residents, &ti, ipcOn, prof)
+	return after - before
+}
+
+// coreThroughput estimates the summed IPC×timeShare of the residents (plus
+// an optional extra thread) on core cc, accounting for ROB partitioning,
+// width sharing and time sharing.
+func coreThroughput(d config.Design, cc config.Core, residents []int, extra *int,
+	ipcOn []map[config.CoreType]float64,
+	prof []map[config.CoreType]*interval.Profile) float64 {
+
+	ths := residents
+	if extra != nil {
+		ths = append(append([]int(nil), residents...), *extra)
+	}
+	k := len(ths)
+	if k == 0 {
+		return 0
+	}
+	if !d.SMTEnabled {
+		// Time sharing: the core delivers the average of its threads' solo
+		// throughputs.
+		var sum float64
+		for _, t := range ths {
+			sum += ipcOn[t][cc.Type]
+		}
+		return sum / float64(k)
+	}
+	coRunners := k
+	timeShare := 1.0
+	if k > cc.SMTContexts {
+		coRunners = cc.SMTContexts
+		timeShare = float64(cc.SMTContexts) / float64(k)
+	}
+	part := interval.Partition(cc, coRunners)
+	ipcs := make([]float64, k)
+	for i, t := range ths {
+		sh := interval.Shares{
+			L1I:              float64(cc.L1I.SizeBytes) / float64(coRunners),
+			L1D:              float64(cc.L1D.SizeBytes) / float64(coRunners),
+			L2:               float64(cc.L2.SizeBytes) / float64(coRunners),
+			LLC:              float64(config.LLCConfig().SizeBytes) / 8,
+			MemLatencyCycles: 45 * cc.FrequencyGHz * 1.5,
+		}
+		ipcs[i] = 1 / prof[t][cc.Type].Evaluate(cc, part, sh).Total()
+	}
+	if coRunners > 1 {
+		interval.ShareWidth(ipcs, cc.Width)
+	}
+	var sum float64
+	for _, v := range ipcs {
+		sum += v
+	}
+	return sum * timeShare * cc.FrequencyGHz
+}

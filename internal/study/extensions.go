@@ -1,0 +1,161 @@
+package study
+
+import (
+	"math"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/parallel"
+	"smtflex/internal/power"
+	"smtflex/internal/sched"
+	"smtflex/internal/workload"
+)
+
+// ExtensionTurboBoost explores the paper's Section 9 discussion (EPI
+// throttling / TurboBoost): when fewer cores are active than the design
+// provides, the active cores may raise their frequency until the chip is
+// back at the full-load power envelope. The experiment compares the 4B SMT
+// design with and without boost across thread counts (homogeneous
+// workloads), showing that boost recovers single-thread performance the
+// same way heterogeneity's big cores would — one more flexibility
+// mechanism stacked on SMT.
+func (s *Study) ExtensionTurboBoost() (*Table, error) {
+	t := NewTable("Extension: frequency boost under the power envelope (4B, homogeneous STP)",
+		[]string{"4B", "4B_boost", "boost_factor"}, threadCols())
+
+	base, err := config.DesignByName("4B", true)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := s.SweepDesign(base, Homogeneous)
+	if err != nil {
+		return nil, err
+	}
+	for n := 1; n <= MaxThreads; n++ {
+		t.Set(0, n-1, sw.STP[n-1])
+	}
+
+	// envelopeWatts is the full-load chip power the boost must respect.
+	const envelopeWatts = 49.0
+
+	for n := 1; n <= MaxThreads; n++ {
+		activeCores := n
+		if activeCores > base.NumCores() {
+			activeCores = base.NumCores()
+		}
+		factor := boostFactor(activeCores, envelopeWatts)
+		boosted := base
+		boosted.Name = "4B_boost"
+		boosted.Cores = append([]config.Core(nil), base.Cores...)
+		for i := range boosted.Cores {
+			boosted.Cores[i].FrequencyGHz = config.BaseFrequencyGHz * factor
+		}
+
+		mixes := s.mixesAt(Homogeneous, n)
+		stps := make([]float64, 0, len(mixes))
+		for _, mix := range mixes {
+			r, err := s.EvaluateMix(boosted, mix)
+			if err != nil {
+				return nil, err
+			}
+			stps = append(stps, r.STP)
+		}
+		var inv float64
+		for _, v := range stps {
+			inv += 1 / v
+		}
+		t.Set(1, n-1, float64(len(stps))/inv)
+		t.Set(2, n-1, factor)
+	}
+	return t, nil
+}
+
+// boostFactor returns the frequency multiplier that brings the chip with
+// the given number of active big cores (others gated) back to the power
+// envelope, assuming full utilization and the power model's superlinear
+// frequency scaling, capped at a 1.35x bin (typical turbo headroom).
+func boostFactor(activeCores int, envelopeWatts float64) float64 {
+	big := config.BigCore()
+	fullLoadCore := power.CoreWatts(big, 0.5)
+	budget := (envelopeWatts - power.UncoreWatts) / float64(activeCores)
+	if budget <= fullLoadCore {
+		return 1
+	}
+	// CoreWatts scales ~ f^1.6 (see power.CoreWatts).
+	f := math.Pow(budget/fullLoadCore, 1/1.6)
+	return math.Min(f, 1.35)
+}
+
+// ExtensionSerialBoost quantifies the paper's ACS discussion for
+// multi-threaded workloads: serialized sections already run on the biggest
+// core at its isolated rate in our model (the SMT co-runners are waiting at
+// the barrier and release the core). This experiment compares that
+// behaviour against a pessimistic variant in which the serial section runs
+// at the rate the thread achieves *with* all SMT co-runners resident
+// (no throttling): rows = apps, cols = {throttled, unthrottled} whole-program
+// speedups on 4B SMT with 24 threads.
+func (s *Study) ExtensionSerialBoost() (*Table, error) {
+	// The unthrottled serial rate: solve the full 24-thread placement and
+	// use one thread's rate as the serial-section rate.
+	d, err := config.DesignByName("4B", true)
+	if err != nil {
+		return nil, err
+	}
+	apps := []string{"bodytrack", "dedup", "ferret", "freqmine", "x264"}
+	t := NewTable("Extension: serial sections with vs without SMT throttling (relative whole-program time on 4B, 24 threads)",
+		apps, []string{"throttled", "unthrottled"})
+
+	for r, name := range apps {
+		appRes, err := s.appWholeTimes(d, name)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(r, 0, 1.0)
+		t.Set(r, 1, appRes)
+	}
+	return t, nil
+}
+
+// appWholeTimes returns the relative whole-program time when serialized
+// work runs at the congested (unthrottled) rate instead of the isolated
+// rate: > 1 means throttling helps.
+func (s *Study) appWholeTimes(d config.Design, appName string) (float64, error) {
+	// Isolated serial rate: kernel alone on the big core.
+	app, err := parallel.AppByName(appName)
+	if err != nil {
+		return 0, err
+	}
+	soloMix := workload.Mix{ID: "ext-solo", Programs: []string{app.Kernel}}
+	soloPl, err := sched.Place(d, soloMix, s.Src)
+	if err != nil {
+		return 0, err
+	}
+	soloRes, err := contention.Solve(soloPl)
+	if err != nil {
+		return 0, err
+	}
+	soloRate := soloRes.Threads[0].UopsPerNs
+
+	// Congested serial rate: one thread among 24 resident SMT threads.
+	progs := make([]string, 24)
+	for i := range progs {
+		progs[i] = app.Kernel
+	}
+	fullPl, err := sched.Place(d, workload.Mix{ID: "ext-full", Programs: progs}, s.Src)
+	if err != nil {
+		return 0, err
+	}
+	fullRes, err := contention.Solve(fullPl)
+	if err != nil {
+		return 0, err
+	}
+	congestedRate := fullRes.Threads[0].UopsPerNs
+
+	// Whole-program time splits into parallel work (same either way) and
+	// serialized work (rate differs).
+	serialFrac := app.SeqFraction + (1-app.SeqFraction)*app.ROISerialFraction
+	parTime := 1 - serialFrac         // arbitrary units
+	throttled := parTime + serialFrac // serial at solo rate = 1x
+	unthrottled := parTime + serialFrac*(soloRate/congestedRate)
+	return unthrottled / throttled, nil
+}

@@ -1,0 +1,51 @@
+package study
+
+import "testing"
+
+func TestExtensionTurboBoost(t *testing.T) {
+	s := sharedStudy()
+	tab, err := s.ExtensionTurboBoost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, boost, factor := tab.Row("4B"), tab.Row("4B_boost"), tab.Row("boost_factor")
+	// Boost helps at low thread counts (idle cores' budget moves to the
+	// active ones) and vanishes at full occupancy.
+	if tab.Get(boost, 0) <= tab.Get(base, 0)*1.02 {
+		t.Errorf("boost at 1 thread: %.3f vs %.3f — no gain", tab.Get(boost, 0), tab.Get(base, 0))
+	}
+	if f := tab.Get(factor, 0); f < 1.1 || f > 1.36 {
+		t.Errorf("1-thread boost factor %.2f outside expected band", f)
+	}
+	if f := tab.Get(factor, 23); f > 1.15 {
+		t.Errorf("24-thread boost factor %.2f, want near 1 (all cores active)", f)
+	}
+	// Boost never hurts.
+	for n := 0; n < MaxThreads; n++ {
+		if tab.Get(boost, n) < tab.Get(base, n)*0.99 {
+			t.Errorf("boost hurt at %d threads: %.3f vs %.3f", n+1, tab.Get(boost, n), tab.Get(base, n))
+		}
+	}
+}
+
+func TestExtensionSerialBoost(t *testing.T) {
+	s := sharedStudy()
+	tab, err := s.ExtensionSerialBoost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running serial sections unthrottled (SMT co-runners resident) always
+	// costs whole-program time; the cost is largest for the most serial
+	// application in the list.
+	for r, name := range tab.Rows {
+		v := tab.Get(r, 1)
+		if v < 1 {
+			t.Errorf("%s: unthrottled serial section faster than throttled (%.3f)", name, v)
+		}
+		// The congested serial rate combines 6-way SMT sharing with bus
+		// saturation, so the ratio can be large — but bounded.
+		if v > 10 {
+			t.Errorf("%s: implausible serial penalty %.2fx", name, v)
+		}
+	}
+}

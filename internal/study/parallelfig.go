@@ -1,0 +1,178 @@
+package study
+
+import (
+	"fmt"
+
+	"smtflex/internal/config"
+	"smtflex/internal/metrics"
+	"smtflex/internal/parallel"
+)
+
+// parallelThreadCounts are the software thread counts the paper sweeps.
+var parallelThreadCounts = []int{4, 8, 12, 16, 20, 24}
+
+// heteroParallelDesigns are the designs shown in Figures 11/12: the three
+// homogeneous designs plus the single-big-core heterogeneous designs (pinned
+// scheduling cannot exploit multiple big cores).
+func heteroParallelDesigns(smt bool) []config.Design {
+	out := []config.Design{}
+	for _, name := range []string{"4B", "8m", "20s", "1B6m", "1B15s"} {
+		d, err := config.DesignByName(name, smt)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// baselineKey caches the per-app baseline: four threads on 4B without SMT.
+func (s *Study) parallelBaseline(app parallel.App, bandwidthGBps float64) (parallel.Result, error) {
+	d, err := config.DesignByName("4B", false)
+	if err != nil {
+		return parallel.Result{}, err
+	}
+	d = d.WithBandwidth(bandwidthGBps)
+	return parallel.Evaluate(app, d, 4, s.Src)
+}
+
+// bestSpeedup evaluates app on design d at the allowed thread counts and
+// returns the maximum ROI and whole-program speedups versus the baseline.
+// Without SMT the thread count equals the core count (the paper's setup);
+// with SMT the sweep goes up to 24 threads.
+func (s *Study) bestSpeedup(app parallel.App, d config.Design) (roi, whole float64, err error) {
+	base, err := s.parallelBaseline(app, d.MemBandwidthGBps)
+	if err != nil {
+		return 0, 0, err
+	}
+	counts := parallelThreadCounts
+	if !d.SMTEnabled {
+		counts = []int{d.NumCores()}
+	}
+	for _, n := range counts {
+		if d.SMTEnabled && n > d.HardwareThreads() {
+			continue
+		}
+		res, err := parallel.Evaluate(app, d, n, s.Src)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v := base.ROINs / res.ROINs; v > roi {
+			roi = v
+		}
+		if v := base.TotalNs / res.TotalNs; v > whole {
+			whole = v
+		}
+	}
+	return roi, whole, nil
+}
+
+// parallelSpeedupTable fills rows=designs × cols={ROI,whole} with speedups
+// averaged over all applications.
+func (s *Study) parallelSpeedupTable(title string, designs []config.Design) (*Table, error) {
+	names := make([]string, len(designs))
+	for i, d := range designs {
+		suffix := ""
+		if d.SMTEnabled {
+			suffix = "_SMT"
+		}
+		names[i] = d.Name + suffix
+	}
+	t := NewTable(title, names, []string{"ROI", "whole"})
+	for r, d := range designs {
+		var rois, wholes []float64
+		for _, name := range parallel.AppNames() {
+			app, err := parallel.AppByName(name)
+			if err != nil {
+				return nil, err
+			}
+			roi, whole, err := s.bestSpeedup(app, d)
+			if err != nil {
+				return nil, err
+			}
+			rois = append(rois, roi)
+			wholes = append(wholes, whole)
+		}
+		t.Set(r, 0, metrics.Mean(rois))
+		t.Set(r, 1, metrics.Mean(wholes))
+	}
+	return t, nil
+}
+
+// Figure11 returns average multi-threaded speedups (versus four threads on
+// 4B) for the parallel designs, without and with SMT.
+func (s *Study) Figure11() (*Table, error) {
+	designs := append(heteroParallelDesigns(false), heteroParallelDesigns(true)...)
+	return s.parallelSpeedupTable(
+		"Figure 11: average PARSEC-like speedup vs 4-thread 4B (ROI and whole program)", designs)
+}
+
+// Figure12 returns per-application best speedups: apps × designs, for the
+// given phase ("ROI" or "whole"), with SMT enabled.
+func (s *Study) Figure12(phase string) (*Table, error) {
+	designs := heteroParallelDesigns(true)
+	names := make([]string, len(designs))
+	for i, d := range designs {
+		names[i] = d.Name
+	}
+	t := NewTable(fmt.Sprintf("Figure 12: per-application speedup (%s, SMT designs)", phase),
+		parallel.AppNames(), names)
+	for c, d := range designs {
+		for r, name := range parallel.AppNames() {
+			app, err := parallel.AppByName(name)
+			if err != nil {
+				return nil, err
+			}
+			roi, whole, err := s.bestSpeedup(app, d)
+			if err != nil {
+				return nil, err
+			}
+			v := roi
+			if phase == "whole" {
+				v = whole
+			}
+			t.Set(r, c, v)
+		}
+	}
+	return t, nil
+}
+
+// Figure16 returns average ROI speedups for the alternative medium/small
+// designs of Section 8.1 — private caches enlarged to the big core's
+// (6m_lc, 16s_lc) and frequency raised to 3.33 GHz (6m_hf, 16s_hf) —
+// compared against the three baseline homogeneous designs, SMT everywhere.
+func (s *Study) Figure16() (*Table, error) {
+	designs := []config.Design{}
+	for _, name := range []string{"4B", "8m", "20s"} {
+		d, err := config.DesignByName(name, true)
+		if err != nil {
+			return nil, err
+		}
+		designs = append(designs, d)
+	}
+	designs = append(designs, config.AlternativeDesigns(true)...)
+	return s.parallelSpeedupTable(
+		"Figure 16: average ROI speedup with larger-cache and higher-frequency small/medium designs", designs)
+}
+
+// Figure17a returns uniform-distribution average STP with 16 GB/s memory
+// bandwidth (SMT everywhere): designs × workload kinds.
+func (s *Study) Figure17a() (*Table, error) {
+	designs := config.NineDesigns(true)
+	for i := range designs {
+		designs[i] = designs[i].WithBandwidth(16)
+	}
+	return s.uniformAverages("Figure 17a: average STP, uniform distribution, SMT, 16 GB/s memory bandwidth", designs)
+}
+
+// Figure17b returns average parallel speedups at 16 GB/s bandwidth.
+func (s *Study) Figure17b() (*Table, error) {
+	var designs []config.Design
+	for _, smt := range []bool{false, true} {
+		for _, d := range heteroParallelDesigns(smt) {
+			designs = append(designs, d.WithBandwidth(16))
+		}
+	}
+	return s.parallelSpeedupTable(
+		"Figure 17b: average PARSEC-like speedup, 16 GB/s memory bandwidth", designs)
+}

@@ -1,0 +1,123 @@
+package study
+
+import (
+	"testing"
+)
+
+// Finding 7 / Figure 11: SMT shifts the multi-threaded optimum toward fewer,
+// larger cores; 4B with SMT beats the best heterogeneous design without SMT
+// and wins the whole-program comparison.
+func TestFinding7Figure11(t *testing.T) {
+	s := sharedStudy()
+	tab := mustFigure(t, s.Figure11)
+	roi, whole := tab.Col("ROI"), tab.Col("whole")
+	get := func(row string, c int) float64 {
+		r := tab.Row(row)
+		if r < 0 {
+			t.Fatalf("row %s missing", row)
+		}
+		return tab.Get(r, c)
+	}
+
+	// 4B with SMT beats every design without SMT, for ROI and whole program.
+	for _, design := range []string{"4B", "8m", "20s", "1B6m", "1B15s"} {
+		if get(design, roi) > get("4B_SMT", roi) {
+			t.Errorf("ROI: %s without SMT (%.3f) beats 4B with SMT (%.3f)",
+				design, get(design, roi), get("4B_SMT", roi))
+		}
+		if get(design, whole) > get("4B_SMT", whole) {
+			t.Errorf("whole: %s without SMT beats 4B with SMT", design)
+		}
+	}
+
+	// Whole program with SMT: 4B is the best design (serial phases plus
+	// poorly-scaling benchmarks dominate).
+	for _, design := range []string{"8m_SMT", "20s_SMT", "1B6m_SMT", "1B15s_SMT"} {
+		if get(design, whole) > get("4B_SMT", whole) {
+			t.Errorf("whole program: %s (%.3f) beats 4B_SMT (%.3f)",
+				design, get(design, whole), get("4B_SMT", whole))
+		}
+	}
+
+	// Adding SMT never hurts a design's best speedup.
+	for _, design := range []string{"4B", "8m", "20s", "1B6m", "1B15s"} {
+		if get(design+"_SMT", roi) < get(design, roi)-1e-9 {
+			t.Errorf("SMT hurt %s ROI speedup", design)
+		}
+	}
+}
+
+func TestFigure12PerApp(t *testing.T) {
+	s := sharedStudy()
+	tab := mustFigure(t, func() (*Table, error) { return s.Figure12("ROI") })
+	if len(tab.Rows) != 13 || len(tab.Cols) != 5 {
+		t.Fatalf("figure 12 shape %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	// Well-scaling benchmarks gain from many threads somewhere; the
+	// poorly-scaling ferret never reaches blackscholes-level speedups.
+	rB, rF := tab.Row("blackscholes"), tab.Row("ferret")
+	for c := range tab.Cols {
+		if tab.Get(rF, c) >= tab.Get(rB, c) {
+			t.Errorf("ferret >= blackscholes on %s", tab.Cols[c])
+		}
+	}
+	// All speedups positive.
+	for r := range tab.Rows {
+		for c := range tab.Cols {
+			if tab.Get(r, c) <= 0 {
+				t.Fatalf("non-positive speedup at %s/%s", tab.Rows[r], tab.Cols[c])
+			}
+		}
+	}
+}
+
+// Finding 10 / Figure 16: larger caches or higher frequency for the smaller
+// cores do not dethrone the big-SMT-core design.
+func TestFinding10Figure16(t *testing.T) {
+	s := sharedStudy()
+	tab := mustFigure(t, s.Figure16)
+	roi := tab.Col("ROI")
+	r4B := tab.Row("4B_SMT")
+	best := 0.0
+	for r := range tab.Rows {
+		if v := tab.Get(r, roi); v > best {
+			best = v
+		}
+	}
+	if gap := (best - tab.Get(r4B, roi)) / best; gap > 0.08 {
+		t.Errorf("alternative design beats 4B by %.1f%% ROI, paper: 4B stays best", 100*gap)
+	}
+	// Higher frequency must help the small-core config versus baseline 20s.
+	if tab.Get(tab.Row("16s_hf_SMT"), roi) <= tab.Get(tab.Row("20s_SMT"), roi) {
+		t.Error("16s_hf not faster than 20s (frequency should help poorly scaling apps)")
+	}
+}
+
+// Finding 11 / Figure 17: doubling the memory bandwidth raises performance
+// for every design but does not change the headline conclusion.
+func TestFinding11Figure17(t *testing.T) {
+	s := sharedStudy()
+	base := mustFigure(t, s.Figure8)
+	wide := mustFigure(t, s.Figure17a)
+	for r, name := range base.Rows {
+		for c := range base.Cols {
+			if wide.Get(r, c) < base.Get(r, c)*0.995 {
+				t.Errorf("%s/%s: 16 GB/s (%.3f) below 8 GB/s (%.3f)",
+					name, base.Cols[c], wide.Get(r, c), base.Get(r, c))
+			}
+		}
+	}
+	// 4B stays within a few percent of the best at 16 GB/s.
+	r4B := wide.Row("4B")
+	for c := range wide.Cols {
+		best := 0.0
+		for r := range wide.Rows {
+			if v := wide.Get(r, c); v > best {
+				best = v
+			}
+		}
+		if gap := (best - wide.Get(r4B, c)) / best; gap > 0.06 {
+			t.Errorf("16 GB/s %s: 4B trails by %.1f%%", wide.Cols[c], 100*gap)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package study implements the paper's experiments: thread-count sweeps of
+// the nine power-equivalent designs for multi-program workloads, aggregation
+// under active-thread-count distributions, multi-threaded application
+// studies, the ideal dynamic multi-core, and the power/energy analyses. One
+// driver per figure regenerates the corresponding result table.
+package study
+
+import (
+	"fmt"
+	"sync"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/dist"
+	"smtflex/internal/interval"
+	"smtflex/internal/metrics"
+	"smtflex/internal/power"
+	"smtflex/internal/profiler"
+	"smtflex/internal/sched"
+	"smtflex/internal/workload"
+)
+
+// Kind selects the multi-program workload class.
+type Kind int
+
+const (
+	// Homogeneous workloads are multiple copies of one benchmark.
+	Homogeneous Kind = iota
+	// Heterogeneous workloads are balanced random benchmark mixes.
+	Heterogeneous
+)
+
+// String returns "homogeneous" or "heterogeneous".
+func (k Kind) String() string {
+	if k == Homogeneous {
+		return "homogeneous"
+	}
+	return "heterogeneous"
+}
+
+// MaxThreads is the study's maximum active thread count.
+const MaxThreads = dist.MaxThreads
+
+// Study runs experiments, caching profiles, solo rates and design sweeps so
+// every figure reuses the same underlying data, exactly as the paper derives
+// all figures from one simulation campaign.
+type Study struct {
+	// Src supplies benchmark profiles (cycle-engine measurements).
+	Src *profiler.Source
+	// MixesPerCount is the number of random mixes per thread count for
+	// heterogeneous workloads (the paper uses 12).
+	MixesPerCount int
+	// Seed drives mix construction.
+	Seed int64
+	// Model selects the contention solver's mechanisms; the zero value is
+	// the calibrated default. Ablation studies build Studies with
+	// alternative models that share the same profile source.
+	Model contention.Model
+
+	mu     sync.Mutex
+	solo   map[string]float64
+	sweeps map[string]*Sweep
+}
+
+// New returns a Study with the paper's defaults.
+func New(src *profiler.Source) *Study {
+	return &Study{Src: src, MixesPerCount: 12, Seed: 20140301, solo: map[string]float64{}, sweeps: map[string]*Sweep{}}
+}
+
+// SoloRate returns a benchmark's isolated progress rate (µops/ns) on the big
+// core — the normalization reference for STP and ANTT.
+func (s *Study) SoloRate(bench string) (float64, error) {
+	s.mu.Lock()
+	if r, ok := s.solo[bench]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return 0, err
+	}
+	d := config.NewDesign("solo-big", 1, 0, 0, false)
+	p := contention.Placement{
+		Design:   d,
+		CoreOf:   []int{0},
+		Profiles: []*interval.Profile{s.Src.Profile(spec, config.Big)},
+	}
+	res, err := contention.Solve(p)
+	if err != nil {
+		return 0, err
+	}
+	r := res.Threads[0].UopsPerNs
+	s.mu.Lock()
+	s.solo[bench] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// MixResult is the evaluation of one mix on one design.
+type MixResult struct {
+	// STP is the system throughput (weighted speedup vs big-core isolated).
+	STP float64
+	// ANTT is the average normalized turnaround time.
+	ANTT float64
+	// Watts is chip power with idle cores power gated.
+	Watts float64
+	// WattsUngated is chip power without power gating.
+	WattsUngated float64
+	// BusUtilization is off-chip bus utilization in [0,1].
+	BusUtilization float64
+}
+
+// EvaluateMix places and solves one mix on a design and computes metrics.
+func (s *Study) EvaluateMix(d config.Design, mix workload.Mix) (MixResult, error) {
+	placement, err := sched.Place(d, mix, s.Src)
+	if err != nil {
+		return MixResult{}, err
+	}
+	solved, err := contention.SolveModel(placement, s.Model)
+	if err != nil {
+		return MixResult{}, err
+	}
+
+	n := mix.NumThreads()
+	rates := make([]float64, n)
+	soloRates := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rates[i] = solved.Threads[i].UopsPerNs
+		soloRates[i], err = s.SoloRate(mix.Programs[i])
+		if err != nil {
+			return MixResult{}, err
+		}
+	}
+	stp, err := metrics.STP(rates, soloRates)
+	if err != nil {
+		return MixResult{}, err
+	}
+	antt, err := metrics.ANTT(rates, soloRates)
+	if err != nil {
+		return MixResult{}, err
+	}
+
+	active := make([]bool, d.NumCores())
+	for _, c := range placement.CoreOf {
+		active[c] = true
+	}
+	st := power.ChipState{Design: d, CoreUtilization: solved.CoreUtilization, CoreActive: active, Gating: true}
+	watts, err := power.ChipWatts(st)
+	if err != nil {
+		return MixResult{}, err
+	}
+	st.Gating = false
+	ungated, err := power.ChipWatts(st)
+	if err != nil {
+		return MixResult{}, err
+	}
+	return MixResult{STP: stp, ANTT: antt, Watts: watts, WattsUngated: ungated, BusUtilization: solved.BusUtilization}, nil
+}
+
+// Sweep holds, for one design and workload kind, the per-thread-count
+// averages and the per-mix detail.
+type Sweep struct {
+	Design config.Design
+	Kind   Kind
+	// STP[n-1] is the harmonic mean STP at n threads across mixes.
+	STP [MaxThreads]float64
+	// ANTT[n-1] is the arithmetic mean ANTT.
+	ANTT [MaxThreads]float64
+	// Watts[n-1] is the mean power with power gating.
+	Watts [MaxThreads]float64
+	// MixNames lists the mixes (for Homogeneous, the benchmark names).
+	MixNames []string
+	// ByMix[m][n-1] is the STP of mix m at n threads.
+	ByMix [][MaxThreads]float64
+}
+
+// sweepKey identifies a sweep in the cache, including the model choices.
+func (s *Study) sweepKey(d config.Design, k Kind) string {
+	return fmt.Sprintf("%s|smt=%t|bw=%g|%s|%+v", d.Name, d.SMTEnabled, d.MemBandwidthGBps, k, s.Model)
+}
+
+// mixesAt returns the workloads evaluated at thread count n.
+func (s *Study) mixesAt(k Kind, n int) []workload.Mix {
+	if k == Homogeneous {
+		return workload.HomogeneousMixes(n)
+	}
+	return workload.HeterogeneousMixes(n, s.MixesPerCount, s.Seed)
+}
+
+// SweepDesign evaluates the design across 1..24 threads for the workload
+// kind, caching the result.
+func (s *Study) SweepDesign(d config.Design, k Kind) (*Sweep, error) {
+	key := s.sweepKey(d, k)
+	s.mu.Lock()
+	if sw, ok := s.sweeps[key]; ok {
+		s.mu.Unlock()
+		return sw, nil
+	}
+	s.mu.Unlock()
+
+	sw := &Sweep{Design: d, Kind: k}
+	nMixes := len(s.mixesAt(k, 1))
+	sw.ByMix = make([][MaxThreads]float64, nMixes)
+	for _, m := range s.mixesAt(k, 1) {
+		name := m.ID
+		if k == Homogeneous {
+			name = m.Programs[0]
+		}
+		sw.MixNames = append(sw.MixNames, name)
+	}
+
+	for n := 1; n <= MaxThreads; n++ {
+		mixes := s.mixesAt(k, n)
+		if len(mixes) != nMixes {
+			return nil, fmt.Errorf("study: mix count changed from %d to %d at n=%d", nMixes, len(mixes), n)
+		}
+		stps := make([]float64, len(mixes))
+		antts := make([]float64, len(mixes))
+		watts := make([]float64, len(mixes))
+		for mi, mix := range mixes {
+			r, err := s.EvaluateMix(d, mix)
+			if err != nil {
+				return nil, fmt.Errorf("study: %s on %s: %w", mix.ID, d.Name, err)
+			}
+			stps[mi] = r.STP
+			antts[mi] = r.ANTT
+			watts[mi] = r.Watts
+			sw.ByMix[mi][n-1] = r.STP
+		}
+		h, err := metrics.HarmonicMean(stps)
+		if err != nil {
+			return nil, err
+		}
+		sw.STP[n-1] = h
+		sw.ANTT[n-1] = metrics.Mean(antts)
+		sw.Watts[n-1] = metrics.Mean(watts)
+	}
+
+	s.mu.Lock()
+	s.sweeps[key] = sw
+	s.mu.Unlock()
+	return sw, nil
+}
+
+// DistributionSTP aggregates a sweep's STP under a thread-count distribution
+// using the weighted harmonic mean (STP is a rate metric).
+func DistributionSTP(sw *Sweep, d dist.Distribution) (float64, error) {
+	weights := make([]float64, MaxThreads)
+	for n := 1; n <= MaxThreads; n++ {
+		weights[n-1] = d.Weight(n)
+	}
+	return metrics.WeightedHarmonicMean(sw.STP[:], weights)
+}
+
+// DistributionWatts aggregates power under a distribution (arithmetic,
+// power is additive over time).
+func DistributionWatts(sw *Sweep, d dist.Distribution) (float64, error) {
+	weights := make([]float64, MaxThreads)
+	for n := 1; n <= MaxThreads; n++ {
+		weights[n-1] = d.Weight(n)
+	}
+	return metrics.WeightedAverage(sw.Watts[:], weights)
+}

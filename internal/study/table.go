@@ -1,0 +1,127 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a labelled numeric grid: the output format of every experiment
+// driver. It renders as an aligned text table (for the figures binary and
+// the bench harness) or as CSV.
+type Table struct {
+	// Title describes the experiment (e.g. "Figure 3a: STP vs thread count").
+	Title string
+	// Cols are column headers.
+	Cols []string
+	// Rows are row headers.
+	Rows []string
+	// Cells[r][c] is the value at row r, column c.
+	Cells [][]float64
+	// Precision is the number of decimals to print (default 3).
+	Precision int
+}
+
+// NewTable allocates a table with the given shape.
+func NewTable(title string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, Cols: cols, Rows: rows, Cells: cells, Precision: 3}
+}
+
+// Set stores a value.
+func (t *Table) Set(r, c int, v float64) { t.Cells[r][c] = v }
+
+// Get reads a value.
+func (t *Table) Get(r, c int) float64 { return t.Cells[r][c] }
+
+// Row returns the index of the named row, or -1.
+func (t *Table) Row(name string) int {
+	for i, r := range t.Rows {
+		if r == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Col returns the index of the named column, or -1.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the aligned text table.
+func (t *Table) String() string {
+	prec := t.Precision
+	if prec <= 0 {
+		prec = 3
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+
+	rowW := len("row")
+	for _, r := range t.Rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	for c, name := range t.Cols {
+		colW[c] = len(name)
+		for r := range t.Rows {
+			w := len(fmt.Sprintf("%.*f", prec, t.Cells[r][c]))
+			if w > colW[c] {
+				colW[c] = w
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", rowW, "")
+	for c, name := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", colW[c], name)
+	}
+	b.WriteByte('\n')
+	for r, name := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", rowW, name)
+		for c := range t.Cols {
+			fmt.Fprintf(&b, "  %*.*f", colW[c], prec, t.Cells[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with headers.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("row")
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for r, name := range t.Rows {
+		b.WriteString(name)
+		for c := range t.Cols {
+			fmt.Fprintf(&b, ",%g", t.Cells[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ArgMaxRow returns the name of the row with the largest value in column c.
+func (t *Table) ArgMaxRow(c int) string {
+	best := 0
+	for r := range t.Rows {
+		if t.Cells[r][c] > t.Cells[best][c] {
+			best = r
+		}
+	}
+	return t.Rows[best]
+}

@@ -1,0 +1,106 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Sample", []string{"alpha", "b"}, []string{"x", "yy"})
+	t.Set(0, 0, 1.5)
+	t.Set(0, 1, 2.25)
+	t.Set(1, 0, 10)
+	t.Set(1, 1, 0.125)
+	return t
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab := sampleTable()
+	if tab.Get(0, 1) != 2.25 {
+		t.Fatal("Get wrong")
+	}
+	if tab.Row("b") != 1 || tab.Row("nope") != -1 {
+		t.Fatal("Row lookup wrong")
+	}
+	if tab.Col("yy") != 1 || tab.Col("zz") != -1 {
+		t.Fatal("Col lookup wrong")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := sampleTable().String()
+	if !strings.Contains(s, "Sample") {
+		t.Error("title missing")
+	}
+	for _, want := range []string{"alpha", "yy", "2.250", "10.000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	csv := sampleTable().CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "row,x,yy" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "alpha,1.5,2.25" {
+		t.Fatalf("row %q", lines[1])
+	}
+	if lines[2] != "b,10,0.125" {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	tab := sampleTable()
+	if got := tab.ArgMaxRow(0); got != "b" {
+		t.Fatalf("ArgMaxRow(0) = %s", got)
+	}
+	if got := tab.ArgMaxRow(1); got != "alpha" {
+		t.Fatalf("ArgMaxRow(1) = %s", got)
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	tab := Table1()
+	if tab.Get(tab.Row("width"), tab.Col("big")) != 4 {
+		t.Error("big width")
+	}
+	if tab.Get(tab.Row("rob"), tab.Col("medium")) != 32 {
+		t.Error("medium ROB")
+	}
+	if tab.Get(tab.Row("ooo"), tab.Col("small")) != 0 {
+		t.Error("small core should be in-order")
+	}
+	if tab.Get(tab.Row("smt_contexts"), tab.Col("big")) != 6 {
+		t.Error("big SMT contexts")
+	}
+}
+
+func TestFigure2Contents(t *testing.T) {
+	tab := Figure2()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("%d designs", len(tab.Rows))
+	}
+	r := tab.Row("2B10s")
+	if tab.Get(r, tab.Col("big")) != 2 || tab.Get(r, tab.Col("small")) != 10 {
+		t.Error("2B10s composition wrong")
+	}
+}
+
+func TestFigure10aDistribution(t *testing.T) {
+	tab := Figure10a()
+	var sum float64
+	for c := range tab.Cols {
+		sum += tab.Get(0, c)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("distribution sums to %g", sum)
+	}
+}

@@ -1,0 +1,219 @@
+// Package timeline simulates dynamic multiprogramming: jobs arrive over
+// time, run concurrently on a multi-core design, and depart when their work
+// completes — so the active thread count varies the way the paper's
+// motivation describes ("jobs come and go"). Between scheduling events the
+// chip is in steady state and per-job progress rates come from the interval
+// engine; at every arrival and completion the schedule is rebuilt and the
+// rates re-solved.
+//
+// The simulation reports per-job turnaround, makespan, mean active thread
+// count and energy (with power gating), allowing design points to be
+// compared under genuinely time-varying parallelism rather than a static
+// thread-count distribution.
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/power"
+	"smtflex/internal/sched"
+	"smtflex/internal/workload"
+)
+
+// Job is one single-threaded program instance.
+type Job struct {
+	// Benchmark names the workload spec.
+	Benchmark string
+	// ArrivalNs is the arrival time.
+	ArrivalNs float64
+	// WorkUops is the job's total work.
+	WorkUops float64
+}
+
+// Validate reports parameter errors.
+func (j Job) Validate() error {
+	if j.Benchmark == "" {
+		return fmt.Errorf("timeline: job without benchmark")
+	}
+	if j.ArrivalNs < 0 || j.WorkUops <= 0 {
+		return fmt.Errorf("timeline: job %s: arrival %g, work %g", j.Benchmark, j.ArrivalNs, j.WorkUops)
+	}
+	return nil
+}
+
+// JobResult records one job's fate.
+type JobResult struct {
+	Job
+	// FinishNs is the completion time.
+	FinishNs float64
+	// TurnaroundNs = FinishNs - ArrivalNs.
+	TurnaroundNs float64
+}
+
+// Result summarizes a timeline simulation.
+type Result struct {
+	Jobs []JobResult
+	// MakespanNs is the completion time of the last job.
+	MakespanNs float64
+	// MeanActive is the time-averaged number of running jobs.
+	MeanActive float64
+	// EnergyJoules integrates gated chip power over the makespan.
+	EnergyJoules float64
+	// MeanTurnaroundNs averages the per-job turnaround times.
+	MeanTurnaroundNs float64
+}
+
+// maxEvents bounds the event loop against pathological inputs.
+const maxEvents = 1_000_000
+
+// Simulate runs the jobs on the design. Jobs are admitted immediately on
+// arrival (the scheduler time-shares when they outnumber hardware
+// contexts).
+func Simulate(d config.Design, jobs []Job, src sched.ProfileSource) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(jobs) == 0 {
+		return Result{}, fmt.Errorf("timeline: no jobs")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	pending := append([]Job(nil), jobs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].ArrivalNs < pending[j].ArrivalNs })
+
+	type active struct {
+		job       Job
+		remaining float64
+	}
+	var running []active
+	var res Result
+	now := 0.0
+	var activeIntegral float64
+
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return Result{}, fmt.Errorf("timeline: event limit exceeded")
+		}
+		// Admit arrivals at the current time.
+		for len(pending) > 0 && pending[0].ArrivalNs <= now+1e-9 {
+			running = append(running, active{job: pending[0], remaining: pending[0].WorkUops})
+			pending = pending[1:]
+		}
+		if len(running) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			// Idle gap: jump to the next arrival; only uncore power burns.
+			dt := pending[0].ArrivalNs - now
+			res.EnergyJoules += power.UncoreWatts * dt * 1e-9
+			now = pending[0].ArrivalNs
+			continue
+		}
+
+		// Steady state for the current job set.
+		progs := make([]string, len(running))
+		for i, a := range running {
+			progs[i] = a.job.Benchmark
+		}
+		placement, err := sched.Place(d, workload.Mix{ID: "timeline", Programs: progs}, src)
+		if err != nil {
+			return Result{}, err
+		}
+		solved, err := contention.Solve(placement)
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Next event: first completion or next arrival.
+		dt := math.Inf(1)
+		for i, a := range running {
+			rate := solved.Threads[i].UopsPerNs
+			if rate <= 0 {
+				return Result{}, fmt.Errorf("timeline: job %d has zero rate", i)
+			}
+			if t := a.remaining / rate; t < dt {
+				dt = t
+			}
+		}
+		if len(pending) > 0 {
+			if t := pending[0].ArrivalNs - now; t < dt {
+				dt = t
+			}
+		}
+
+		// Integrate power and progress over dt.
+		activeCores := make([]bool, d.NumCores())
+		for _, c := range placement.CoreOf {
+			activeCores[c] = true
+		}
+		watts, err := power.ChipWatts(power.ChipState{
+			Design: d, CoreUtilization: solved.CoreUtilization,
+			CoreActive: activeCores, Gating: true,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res.EnergyJoules += watts * dt * 1e-9
+		activeIntegral += float64(len(running)) * dt
+		now += dt
+
+		// Apply progress; retire finished jobs.
+		var still []active
+		for i, a := range running {
+			a.remaining -= solved.Threads[i].UopsPerNs * dt
+			if a.remaining <= 1e-6 {
+				res.Jobs = append(res.Jobs, JobResult{
+					Job: a.job, FinishNs: now, TurnaroundNs: now - a.job.ArrivalNs,
+				})
+			} else {
+				still = append(still, a)
+			}
+		}
+		running = still
+	}
+
+	res.MakespanNs = now
+	if now > 0 {
+		res.MeanActive = activeIntegral / now
+	}
+	var sum float64
+	for _, jr := range res.Jobs {
+		sum += jr.TurnaroundNs
+	}
+	res.MeanTurnaroundNs = sum / float64(len(res.Jobs))
+	return res, nil
+}
+
+// PoissonWorkload builds a deterministic pseudo-random job stream: n jobs
+// with exponential inter-arrival times of the given mean, benchmarks drawn
+// round-robin from the suite, and work uniform in [0.5, 1.5]×meanWork.
+func PoissonWorkload(n int, meanInterArrivalNs, meanWorkUops float64, seed uint64) []Job {
+	names := workload.Names()
+	jobs := make([]Job, n)
+	state := seed ^ 0x9E3779B97F4A7C15
+	next := func() float64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+	t := 0.0
+	for i := range jobs {
+		t += -meanInterArrivalNs * math.Log(1-next())
+		jobs[i] = Job{
+			Benchmark: names[i%len(names)],
+			ArrivalNs: t,
+			WorkUops:  meanWorkUops * (0.5 + next()),
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,154 @@
+package timeline
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"smtflex/internal/config"
+	"smtflex/internal/power"
+	"smtflex/internal/profiler"
+)
+
+var (
+	srcOnce sync.Once
+	src     *profiler.Source
+)
+
+func source() *profiler.Source {
+	srcOnce.Do(func() { src = profiler.NewSource(60_000) })
+	return src
+}
+
+func design(t *testing.T, name string, smt bool) config.Design {
+	t.Helper()
+	d, err := config.DesignByName(name, smt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAllJobsComplete(t *testing.T) {
+	jobs := PoissonWorkload(20, 2e6, 20e6, 1)
+	res, err := Simulate(design(t, "4B", true), jobs, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 20 {
+		t.Fatalf("%d of 20 jobs completed", len(res.Jobs))
+	}
+	for _, jr := range res.Jobs {
+		if jr.FinishNs <= jr.ArrivalNs {
+			t.Fatalf("job finished before arriving: %+v", jr)
+		}
+		if jr.TurnaroundNs != jr.FinishNs-jr.ArrivalNs {
+			t.Fatal("turnaround inconsistent")
+		}
+	}
+	if res.MakespanNs <= 0 || res.MeanTurnaroundNs <= 0 || res.EnergyJoules <= 0 {
+		t.Fatalf("implausible summary %+v", res)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	jobs := PoissonWorkload(12, 1e6, 10e6, 7)
+	a, err := Simulate(design(t, "2B4m", true), jobs, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(design(t, "2B4m", true), jobs, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanNs != b.MakespanNs || a.EnergyJoules != b.EnergyJoules {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestHigherLoadMoreActive(t *testing.T) {
+	light := PoissonWorkload(15, 20e6, 10e6, 3)
+	heavy := PoissonWorkload(15, 1e6, 10e6, 3)
+	rl, err := Simulate(design(t, "4B", true), light, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Simulate(design(t, "4B", true), heavy, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.MeanActive <= rl.MeanActive {
+		t.Fatalf("mean active: heavy %.2f <= light %.2f", rh.MeanActive, rl.MeanActive)
+	}
+}
+
+func TestLightLoadFavorsBigCores(t *testing.T) {
+	// At low load (mostly 1-2 active jobs), 4B turns jobs around faster
+	// than 20s — the paper's core argument.
+	jobs := PoissonWorkload(10, 30e6, 15e6, 5)
+	r4, err := Simulate(design(t, "4B", true), jobs, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r20, err := Simulate(design(t, "20s", true), jobs, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.MeanTurnaroundNs >= r20.MeanTurnaroundNs {
+		t.Fatalf("4B turnaround %.0f >= 20s %.0f at light load",
+			r4.MeanTurnaroundNs, r20.MeanTurnaroundNs)
+	}
+}
+
+func TestIdleGapsBurnOnlyUncore(t *testing.T) {
+	// Two widely separated tiny jobs: energy over the long idle gap is the
+	// uncore floor only (power gating).
+	jobs := []Job{
+		{Benchmark: "hmmer", ArrivalNs: 0, WorkUops: 1e6},
+		{Benchmark: "hmmer", ArrivalNs: 100e6, WorkUops: 1e6},
+	}
+	res, err := Simulate(design(t, "4B", true), jobs, source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle ~100 ms at 7 W = 0.7 J; the two short jobs add little.
+	idleJ := power.UncoreWatts * 0.1
+	if res.EnergyJoules < idleJ*0.9 || res.EnergyJoules > idleJ*1.6 {
+		t.Fatalf("energy %.3f J, want near the %.2f J uncore floor", res.EnergyJoules, idleJ)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(design(t, "4B", true), nil, source()); err == nil {
+		t.Fatal("empty job list accepted")
+	}
+	bad := []Job{{Benchmark: "", ArrivalNs: 0, WorkUops: 1}}
+	if _, err := Simulate(design(t, "4B", true), bad, source()); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+}
+
+func TestPoissonWorkloadShape(t *testing.T) {
+	jobs := PoissonWorkload(400, 1e6, 10e6, 11)
+	if len(jobs) != 400 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	var sum float64
+	prev := 0.0
+	for _, j := range jobs {
+		if j.ArrivalNs < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		sum += j.ArrivalNs - prev
+		prev = j.ArrivalNs
+	}
+	mean := sum / 400
+	if math.Abs(mean-1e6)/1e6 > 0.2 {
+		t.Fatalf("mean inter-arrival %.0f, want ~1e6", mean)
+	}
+	for _, j := range jobs {
+		if j.WorkUops < 0.5*10e6 || j.WorkUops > 1.5*10e6 {
+			t.Fatalf("work %g outside [0.5,1.5]x mean", j.WorkUops)
+		}
+	}
+}

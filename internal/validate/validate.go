@@ -1,0 +1,121 @@
+// Package validate cross-checks the two simulation engines: it runs the same
+// workload through the detailed cycle engine and the interval engine and
+// reports the prediction error. The interval model is calibrated from
+// single-thread cycle-engine runs, so single-thread agreement is close to
+// exact by construction; the interesting validation is multi-thread and SMT
+// behaviour, where the interval engine extrapolates.
+//
+// The original study used Sniper, itself validated against hardware; here
+// the cycle engine plays the role of the reference.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/cpu"
+	"smtflex/internal/multicore"
+	"smtflex/internal/sched"
+	"smtflex/internal/workload"
+)
+
+// Comparison is the outcome of one cross-engine run.
+type Comparison struct {
+	// Design and Mix identify the experiment.
+	Design string
+	Mix    []string
+	// CycleIPC and IntervalIPC are per-thread µops per (core) cycle.
+	CycleIPC    []float64
+	IntervalIPC []float64
+}
+
+// MeanAbsRelError returns the mean absolute relative error of the interval
+// prediction versus the cycle reference.
+func (c Comparison) MeanAbsRelError() float64 {
+	if len(c.CycleIPC) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range c.CycleIPC {
+		sum += math.Abs(c.IntervalIPC[i]-c.CycleIPC[i]) / c.CycleIPC[i]
+	}
+	return sum / float64(len(c.CycleIPC))
+}
+
+// ThroughputRelError compares total chip throughput between the engines.
+func (c Comparison) ThroughputRelError() float64 {
+	var cy, iv float64
+	for i := range c.CycleIPC {
+		cy += c.CycleIPC[i]
+		iv += c.IntervalIPC[i]
+	}
+	if cy == 0 {
+		return 0
+	}
+	return (iv - cy) / cy
+}
+
+// Source supplies profiles for the interval side; package profiler
+// implements it.
+type Source = sched.ProfileSource
+
+// Run executes the mix on the named design with both engines. The cycle
+// engine runs warmupUops of warmup plus measureUops of measurement per
+// thread; thread placement follows the same scheduling policy on both sides.
+func Run(src Source, designName string, smt bool, programs []string, warmupUops, measureUops uint64) (Comparison, error) {
+	d, err := config.DesignByName(designName, smt)
+	if err != nil {
+		return Comparison{}, err
+	}
+	mix := workload.Mix{ID: "validate", Programs: programs}
+	placement, err := sched.Place(d, mix, src)
+	if err != nil {
+		return Comparison{}, err
+	}
+
+	cmp := Comparison{Design: designName, Mix: programs}
+
+	// Interval engine.
+	solved, err := contention.Solve(placement)
+	if err != nil {
+		return Comparison{}, err
+	}
+	for i := range programs {
+		// Express as per-core-cycle IPC on the thread's core.
+		cc := d.Cores[placement.CoreOf[i]]
+		cmp.IntervalIPC = append(cmp.IntervalIPC, solved.Threads[i].UopsPerNs/cc.FrequencyGHz)
+	}
+
+	// Cycle engine, same placement.
+	chip, err := multicore.New(d, cpu.Ideal{})
+	if err != nil {
+		return Comparison{}, err
+	}
+	readers, err := mix.Readers(0x5EED)
+	if err != nil {
+		return Comparison{}, err
+	}
+	ids := make([]int, len(readers))
+	for i, r := range readers {
+		id, err := chip.AttachThread(placement.CoreOf[i], r)
+		if err != nil {
+			return Comparison{}, fmt.Errorf("validate: %w", err)
+		}
+		ids[i] = id
+	}
+	chip.Run(warmupUops)
+	warm := make([]cpu.ThreadStats, len(ids))
+	for i, id := range ids {
+		warm[i] = chip.ThreadStats(id)
+	}
+	chip.Run(warmupUops + measureUops)
+	for i, id := range ids {
+		fin := chip.ThreadStats(id)
+		duops := float64(fin.Uops - warm[i].Uops)
+		dt := fin.FinishTime - warm[i].FinishTime
+		cmp.CycleIPC = append(cmp.CycleIPC, duops/dt)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,95 @@
+package validate
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"smtflex/internal/profiler"
+)
+
+var (
+	srcOnce sync.Once
+	src     *profiler.Source
+)
+
+func source() *profiler.Source {
+	srcOnce.Do(func() { src = profiler.NewSource(100_000) })
+	return src
+}
+
+func mustRun(t *testing.T, design string, smt bool, programs []string) Comparison {
+	t.Helper()
+	// Match the profiler's calibration window exactly: the benchmarks'
+	// multi-megabyte streams warm over millions of µops, so agreement is
+	// defined at equal warmup, not at (unreachable) absolute steady state.
+	s := source()
+	cmp, err := Run(s, design, smt, programs, s.Warmup, s.UopCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp
+}
+
+func TestSingleThreadAgreement(t *testing.T) {
+	// Single-thread runs are close to the calibration point: tight bound.
+	for _, bench := range []string{"tonto", "hmmer", "bzip2", "libquantum"} {
+		cmp := mustRun(t, "4B", true, []string{bench})
+		if e := cmp.MeanAbsRelError(); e > 0.20 {
+			t.Errorf("%s solo on 4B: interval vs cycle error %.1f%%", bench, 100*e)
+		}
+	}
+}
+
+func TestSingleThreadSmallCore(t *testing.T) {
+	for _, bench := range []string{"gcc", "calculix"} {
+		cmp := mustRun(t, "20s", true, []string{bench})
+		if e := cmp.MeanAbsRelError(); e > 0.25 {
+			t.Errorf("%s solo on 20s: error %.1f%%", bench, 100*e)
+		}
+	}
+}
+
+func TestMultiProgramThroughput(t *testing.T) {
+	// Four distinct programs, one per big core: the extrapolated chip
+	// throughput must stay within a modest band of the cycle engine.
+	cmp := mustRun(t, "4B", true, []string{"tonto", "hmmer", "gobmk", "bzip2"})
+	if e := math.Abs(cmp.ThroughputRelError()); e > 0.30 {
+		t.Errorf("4-program 4B throughput error %.1f%%", 100*e)
+	}
+}
+
+func TestSMTExtrapolation(t *testing.T) {
+	// Two SMT threads per core (8 on 4B): the interval engine extrapolates
+	// ROB partitioning, width and cache sharing. Accept a wider band: the
+	// published interval models report 5-15% per-thread error; shared-cache
+	// LRU dynamics push co-scheduled synthetic workloads somewhat higher.
+	cmp := mustRun(t, "4B", true, []string{
+		"tonto", "tonto", "hmmer", "hmmer", "bzip2", "bzip2", "gobmk", "gobmk"})
+	if e := math.Abs(cmp.ThroughputRelError()); e > 0.40 {
+		t.Errorf("8-thread SMT 4B throughput error %.1f%%", 100*e)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(source(), "9B", true, []string{"tonto"}, 1000, 1000); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	if _, err := Run(source(), "4B", true, []string{"nope"}, 1000, 1000); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestComparisonMath(t *testing.T) {
+	cmp := Comparison{CycleIPC: []float64{1, 2}, IntervalIPC: []float64{1.1, 1.8}}
+	if e := cmp.MeanAbsRelError(); math.Abs(e-0.1) > 1e-9 {
+		t.Fatalf("mean abs rel error %g, want 0.1", e)
+	}
+	if e := cmp.ThroughputRelError(); math.Abs(e-(-0.1/3)) > 1e-9 {
+		t.Fatalf("throughput error %g", e)
+	}
+	var empty Comparison
+	if empty.MeanAbsRelError() != 0 || empty.ThroughputRelError() != 0 {
+		t.Fatal("empty comparison should be zero")
+	}
+}
