@@ -25,6 +25,7 @@ import (
 	"smtflex/internal/multicore"
 	"smtflex/internal/profiler"
 	"smtflex/internal/sched"
+	"smtflex/internal/study"
 	"smtflex/internal/trace"
 	"smtflex/internal/workload"
 )
@@ -83,6 +84,56 @@ func BenchmarkFigure15(b *testing.B)  { benchFigure(b, "fig15") }
 func BenchmarkFigure16(b *testing.B)  { benchFigure(b, "fig16") }
 func BenchmarkFigure17a(b *testing.B) { benchFigure(b, "fig17a") }
 func BenchmarkFigure17b(b *testing.B) { benchFigure(b, "fig17b") }
+
+// --- Parallel engine benchmarks ---
+
+var (
+	sweepSrcOnce sync.Once
+	sweepSrc     *profiler.Source
+)
+
+// sweepSource returns a shared, pre-warmed profile source so the sweep
+// benchmarks time the experiment engine itself, not the one-time profiling.
+func sweepSource() *profiler.Source {
+	sweepSrcOnce.Do(func() {
+		sweepSrc = profiler.NewSource(30_000)
+		for _, name := range workload.Names() {
+			spec, err := workload.ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			for _, ct := range []config.CoreType{config.Big, config.Medium, config.Small} {
+				sweepSrc.Profile(spec, ct)
+			}
+		}
+	})
+	return sweepSrc
+}
+
+// benchMultiDesignSweep sweeps four designs over both workload kinds from
+// cold sweep caches, the hot path of every figure. Comparing the Serial and
+// Parallel variants quantifies the worker-pool speedup; the tables produced
+// are bit-for-bit identical (see TestParallelMatchesSerial).
+func benchMultiDesignSweep(b *testing.B, parallelism int) {
+	src := sweepSource()
+	designs := config.NineDesigns(true)[:4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := study.New(src)
+		st.MixesPerCount = 4
+		st.Parallelism = parallelism
+		for _, d := range designs {
+			for _, k := range []study.Kind{study.Homogeneous, study.Heterogeneous} {
+				if _, err := st.SweepDesign(d, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMultiDesignSweepSerial(b *testing.B)   { benchMultiDesignSweep(b, 1) }
+func BenchmarkMultiDesignSweepParallel(b *testing.B) { benchMultiDesignSweep(b, 0) }
 
 // --- Engine microbenchmarks ---
 

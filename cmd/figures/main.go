@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated figure ids (see -list), or 'all'")
 	uops := flag.Uint64("uops", 200_000, "cycle-engine µops per profiling run")
 	mixes := flag.Int("mixes", 12, "random heterogeneous mixes per thread count")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	list := flag.Bool("list", false, "list available figure ids and exit")
 	flag.Parse()
@@ -34,14 +36,31 @@ func main() {
 		return
 	}
 
-	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithMixesPerCount(*mixes))
-
+	// Validate every requested id before running anything: a typo must fail
+	// fast, not abort a multi-minute campaign halfway through its output.
 	ids := core.FigureIDs()
 	if *exp != "all" {
+		known := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			known[id] = true
+		}
 		ids = strings.Split(*exp, ",")
+		var bad []string
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+			if !known[ids[i]] {
+				bad = append(bad, ids[i])
+			}
+		}
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure id(s): %s (see -list)\n", strings.Join(bad, ", "))
+			os.Exit(2)
+		}
 	}
+
+	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithMixesPerCount(*mixes), core.WithParallelism(*workers))
+
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		tab, err := sim.Figure(id)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"smtflex/internal/core"
@@ -18,10 +19,11 @@ import (
 
 func main() {
 	uops := flag.Uint64("uops", 200_000, "cycle-engine µops per profiling run")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
 	figures := flag.Bool("figures", false, "append every figure table to the report")
 	flag.Parse()
 
-	sim := core.NewSimulator(core.WithUopCount(*uops))
+	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithParallelism(*workers))
 	start := time.Now()
 
 	findings, err := sim.Study().CheckFindings()

@@ -40,6 +40,7 @@ type settings struct {
 	uopCount      uint64
 	mixesPerCount int
 	seed          int64
+	parallelism   int
 }
 
 // WithUopCount sets the cycle-engine measurement length per profiling run.
@@ -59,6 +60,13 @@ func WithSeed(seed int64) Option {
 	return func(s *settings) { s.seed = seed }
 }
 
+// WithParallelism bounds the experiment engine's worker pool. Zero (the
+// default) means GOMAXPROCS; one forces the serial engine. Results are
+// bit-for-bit identical at every setting.
+func WithParallelism(n int) Option {
+	return func(s *settings) { s.parallelism = n }
+}
+
 // NewSimulator returns a Simulator with the paper's defaults.
 func NewSimulator(opts ...Option) *Simulator {
 	cfg := settings{uopCount: 200_000, mixesPerCount: 12, seed: 20140301}
@@ -69,6 +77,7 @@ func NewSimulator(opts ...Option) *Simulator {
 	st := study.New(src)
 	st.MixesPerCount = cfg.mixesPerCount
 	st.Seed = cfg.seed
+	st.Parallelism = cfg.parallelism
 	return &Simulator{src: src, st: st}
 }
 

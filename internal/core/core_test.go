@@ -126,11 +126,14 @@ func TestListings(t *testing.T) {
 }
 
 func TestOptions(t *testing.T) {
-	s := NewSimulator(WithUopCount(12345), WithMixesPerCount(6), WithSeed(7))
+	s := NewSimulator(WithUopCount(12345), WithMixesPerCount(6), WithSeed(7), WithParallelism(3))
 	if s.Source().UopCount != 12345 {
 		t.Error("uop count option ignored")
 	}
 	if s.Study().MixesPerCount != 6 || s.Study().Seed != 7 {
 		t.Error("study options ignored")
+	}
+	if s.Study().Parallelism != 3 {
+		t.Error("parallelism option ignored")
 	}
 }

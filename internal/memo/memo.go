@@ -1,0 +1,120 @@
+// Package memo provides a concurrency-safe memoizing cache with
+// singleflight duplicate suppression: when several goroutines miss on the
+// same key at once, exactly one runs the compute function while the others
+// block and share its result. Successful results are cached forever;
+// failures are not cached, so a later caller retries the computation.
+//
+// The experiment engine leans on this for the three compute-once tables the
+// parallel sweep hammers — benchmark profiles, solo rates and design
+// sweeps — where a plain check-then-compute cache would let N concurrent
+// misses run the same expensive measurement N times.
+package memo
+
+import "sync"
+
+// entry is one in-flight or completed computation. done is closed once val
+// and err are final.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache memoizes compute results by key. The zero value is ready to use.
+// It must not be copied after first use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*entry[V]
+}
+
+// Get returns the cached value for key, computing it with compute on the
+// first call. Concurrent calls for the same key run compute exactly once and
+// all receive its result. compute must not call Get for the same key on the
+// same cache (it would deadlock); distinct keys may recurse freely, and the
+// cache's lock is never held while compute runs.
+func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*entry[V])
+	}
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	e.val, e.err = compute()
+	if e.err != nil {
+		// Leave failures uncached so the next caller can retry.
+		c.mu.Lock()
+		delete(c.m, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Cached returns the completed value for key, if present. It does not wait
+// for an in-flight computation.
+func (c *Cache[K, V]) Cached(key K) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	c.mu.Unlock()
+	if !ok {
+		return *new(V), false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return *new(V), false
+		}
+		return e.val, true
+	default:
+		return *new(V), false
+	}
+}
+
+// Put stores a completed value for key, replacing any finished entry. It is
+// how persisted results are seeded into the cache. An in-flight computation
+// for the same key keeps its own entry (its waiters get its result); Put
+// then installs val for later lookups.
+func (c *Cache[K, V]) Put(key K, val V) {
+	e := &entry[V]{done: make(chan struct{}), val: val}
+	close(e.done)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*entry[V])
+	}
+	c.m[key] = e
+	c.mu.Unlock()
+}
+
+// Range calls fn for every completed successful entry. In-flight
+// computations are skipped, not waited for.
+func (c *Cache[K, V]) Range(fn func(key K, val V)) {
+	c.mu.Lock()
+	snapshot := make(map[K]*entry[V], len(c.m))
+	for k, e := range c.m {
+		snapshot[k] = e
+	}
+	c.mu.Unlock()
+	for k, e := range snapshot {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				fn(k, e.val)
+			}
+		default:
+		}
+	}
+}
+
+// Len returns the number of cached or in-flight entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,110 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetMemoizes(t *testing.T) {
+	var c Cache[string, int]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := c.Get("k", func() (int, error) { calls++; return 42, nil })
+		if err != nil || v != 42 {
+			t.Fatalf("got %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestConcurrentMissesComputeOnce(t *testing.T) {
+	var c Cache[string, int]
+	var calls atomic.Int64
+	var release sync.WaitGroup
+	release.Add(1)
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.Get("k", func() (int, error) {
+				calls.Add(1)
+				release.Wait() // hold every other goroutine in the miss path
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	release.Done()
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrent misses, want 1", n)
+	}
+	for g, v := range results {
+		if v != 7 {
+			t.Fatalf("goroutine %d got %d", g, v)
+		}
+	}
+}
+
+func TestDistinctKeysIndependent(t *testing.T) {
+	var c Cache[int, int]
+	var wg sync.WaitGroup
+	for k := 0; k < 16; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v, err := c.Get(k, func() (int, error) { return k * k, nil })
+			if err != nil || v != k*k {
+				t.Errorf("key %d: got %d, %v", k, v, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if c.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", c.Len())
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	var c Cache[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.Get("k", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	v, err := c.Get("k", func() (int, error) { calls++; return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry got %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (failure must not be cached)", calls)
+	}
+}
+
+func TestCached(t *testing.T) {
+	var c Cache[string, int]
+	if _, ok := c.Cached("k"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if _, err := c.Get("k", func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Cached("k")
+	if !ok || v != 5 {
+		t.Fatalf("Cached = %d, %t", v, ok)
+	}
+}

@@ -88,16 +88,21 @@ func Speedup(baselineSeconds, improvedSeconds float64) (float64, error) {
 // EDP returns the energy-delay product.
 func EDP(energyJoules, delaySeconds float64) float64 { return energyJoules * delaySeconds }
 
-// WeightedAverage returns Σ w[i]·v[i] / Σ w[i]. Weights must be
-// non-negative with a positive sum.
+// WeightedAverage returns Σ w[i]·v[i] / Σ w[i]. Weights must be finite and
+// non-negative with a positive sum; values must be finite, so a NaN or Inf
+// produced upstream fails loudly instead of silently poisoning a result
+// table.
 func WeightedAverage(values, weights []float64) (float64, error) {
 	if len(values) != len(weights) {
 		return 0, fmt.Errorf("metrics: %d values vs %d weights", len(values), len(weights))
 	}
 	var num, den float64
 	for i := range values {
-		if weights[i] < 0 || math.IsNaN(weights[i]) {
-			return 0, fmt.Errorf("metrics: bad weight at %d", i)
+		if weights[i] < 0 || math.IsNaN(weights[i]) || math.IsInf(weights[i], 0) {
+			return 0, fmt.Errorf("metrics: bad weight %g at %d", weights[i], i)
+		}
+		if math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return 0, fmt.Errorf("metrics: non-finite value %g at %d", values[i], i)
 		}
 		num += values[i] * weights[i]
 		den += weights[i]
@@ -110,20 +115,22 @@ func WeightedAverage(values, weights []float64) (float64, error) {
 
 // WeightedHarmonicMean returns the weighted harmonic mean of values, used to
 // average STP across thread-count distributions (STP is a rate metric).
+// Weights must be finite and non-negative with a positive sum; values with
+// non-zero weight must be positive and finite.
 func WeightedHarmonicMean(values, weights []float64) (float64, error) {
 	if len(values) != len(weights) {
 		return 0, fmt.Errorf("metrics: %d values vs %d weights", len(values), len(weights))
 	}
 	var inv, den float64
 	for i := range values {
-		if weights[i] < 0 {
-			return 0, fmt.Errorf("metrics: negative weight at %d", i)
+		if weights[i] < 0 || math.IsNaN(weights[i]) || math.IsInf(weights[i], 0) {
+			return 0, fmt.Errorf("metrics: bad weight %g at %d", weights[i], i)
 		}
 		if weights[i] == 0 {
 			continue
 		}
-		if values[i] <= 0 {
-			return 0, fmt.Errorf("metrics: non-positive value at %d", i)
+		if values[i] <= 0 || math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return 0, fmt.Errorf("metrics: non-positive or non-finite value %g at %d", values[i], i)
 		}
 		inv += weights[i] / values[i]
 		den += weights[i]

@@ -162,6 +162,36 @@ func TestWeightedHarmonicMean(t *testing.T) {
 	}
 }
 
+func TestWeightedAverageRejectsNonFiniteValues(t *testing.T) {
+	// A NaN or Inf value must error out, not silently propagate into the
+	// result table.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := WeightedAverage([]float64{1, bad}, []float64{1, 1}); err == nil {
+			t.Errorf("value %g accepted", bad)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := WeightedAverage([]float64{1, 1}, []float64{1, bad}); err == nil {
+			t.Errorf("weight %g accepted", bad)
+		}
+	}
+}
+
+func TestWeightedHarmonicMeanRejectsNonFiniteValues(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := WeightedHarmonicMean([]float64{1, bad}, []float64{1, 1}); err == nil {
+			t.Errorf("value %g accepted", bad)
+		}
+		if _, err := WeightedHarmonicMean([]float64{1, 1}, []float64{1, bad}); err == nil {
+			t.Errorf("weight %g accepted", bad)
+		}
+	}
+	// A non-finite value under zero weight is still skipped.
+	if v, err := WeightedHarmonicMean([]float64{2, math.NaN()}, []float64{1, 0}); err != nil || !almost(v, 2) {
+		t.Errorf("zero-weight NaN value: %g err %v", v, err)
+	}
+}
+
 func TestWeightedHarmonicWeightShift(t *testing.T) {
 	// Shifting weight toward the smaller value must lower the mean.
 	lo, _ := WeightedHarmonicMean([]float64{1, 4}, []float64{3, 1})

@@ -32,17 +32,14 @@ const persistVersion = 1
 
 // SaveJSON writes every profile measured so far.
 func (s *Source) SaveJSON(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	file := profileFile{Version: persistVersion, UopCount: s.UopCount, Warmup: s.Warmup}
-	for key, p := range s.profiles {
+	s.profiles.Range(func(key profileKey, p *interval.Profile) {
 		file.Profiles = append(file.Profiles, storedProfile{
 			Benchmark: key.bench,
 			Core:      key.core.String(),
 			Profile:   *p,
 		})
-	}
+	})
 	sort.Slice(file.Profiles, func(i, j int) bool {
 		a, b := file.Profiles[i], file.Profiles[j]
 		if a.Benchmark != b.Benchmark {
@@ -66,8 +63,6 @@ func (s *Source) LoadJSON(r io.Reader) (int, error) {
 	if file.Version != persistVersion {
 		return 0, fmt.Errorf("profiler: profile file version %d, want %d", file.Version, persistVersion)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
 	for _, sp := range file.Profiles {
 		ct, err := coreTypeByName(sp.Core)
@@ -81,7 +76,7 @@ func (s *Source) LoadJSON(r io.Reader) (int, error) {
 		if p.Core != ct {
 			return n, fmt.Errorf("profiler: stored profile %s: key says %s, body says %v", sp.Benchmark, sp.Core, p.Core)
 		}
-		s.profiles[profileKey{bench: sp.Benchmark, core: ct}] = &p
+		s.profiles.Put(profileKey{bench: sp.Benchmark, core: ct}, &p)
 		n++
 	}
 	return n, nil

@@ -13,7 +13,7 @@ package profiler
 
 import (
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"smtflex/internal/cache"
 	"smtflex/internal/config"
@@ -21,6 +21,7 @@ import (
 	"smtflex/internal/interval"
 	"smtflex/internal/isa"
 	"smtflex/internal/mem"
+	"smtflex/internal/memo"
 	"smtflex/internal/multicore"
 	"smtflex/internal/trace"
 )
@@ -73,9 +74,15 @@ type Source struct {
 	// CurveWarmup is the portion of the curve pass excluded from the curve.
 	CurveWarmup uint64
 
-	mu       sync.Mutex
-	profiles map[profileKey]*interval.Profile
-	curves   map[string]*curvePair
+	// profiles and curves memoize measurements with singleflight duplicate
+	// suppression: concurrent misses for the same key measure once.
+	profiles memo.Cache[profileKey, *interval.Profile]
+	curves   memo.Cache[string, *curvePair]
+
+	// measureRuns and curveRuns count underlying measurements — test
+	// instrumentation for the stampede regression tests.
+	measureRuns atomic.Int64
+	curveRuns   atomic.Int64
 }
 
 type profileKey struct {
@@ -99,38 +106,31 @@ func NewSource(uopCount uint64) *Source {
 		Warmup:      2 * uopCount,
 		CurveUops:   8 * uopCount,
 		CurveWarmup: 2 * uopCount,
-		profiles:    make(map[profileKey]*interval.Profile),
-		curves:      make(map[string]*curvePair),
 	}
 }
 
-// Profile returns the (cached) profile of spec on core type ct.
+// Profile returns the (cached) profile of spec on core type ct. Concurrent
+// calls for the same (benchmark, core type) measure once; the callers that
+// lose the race block and share the winner's profile.
 func (s *Source) Profile(spec trace.Spec, ct config.CoreType) *interval.Profile {
-	key := profileKey{bench: spec.Name, core: ct}
-	s.mu.Lock()
-	if p, ok := s.profiles[key]; ok {
-		s.mu.Unlock()
-		return p
-	}
-	s.mu.Unlock()
-
-	p := s.measure(spec, ct)
-
-	s.mu.Lock()
-	s.profiles[key] = p
-	s.mu.Unlock()
+	p, _ := s.profiles.Get(profileKey{bench: spec.Name, core: ct}, func() (*interval.Profile, error) {
+		return s.measure(spec, ct), nil
+	})
 	return p
 }
 
-// curvesFor computes (or returns cached) reuse curves for the benchmark.
+// curvesFor computes (or returns cached) reuse curves for the benchmark,
+// with the same duplicate suppression as Profile.
 func (s *Source) curvesFor(spec trace.Spec) *curvePair {
-	s.mu.Lock()
-	if c, ok := s.curves[spec.Name]; ok {
-		s.mu.Unlock()
-		return c
-	}
-	s.mu.Unlock()
+	c, _ := s.curves.Get(spec.Name, func() (*curvePair, error) {
+		return s.measureCurves(spec), nil
+	})
+	return c
+}
 
+// measureCurves runs the stack-distance pass behind curvesFor's cache.
+func (s *Source) measureCurves(spec trace.Spec) *curvePair {
+	s.curveRuns.Add(1)
 	g := trace.NewGenerator(spec, profileSeed)
 	dataProf := cache.NewStackProfiler(maxCurveDist)
 	codeProf := cache.NewStackProfiler(maxCurveDist)
@@ -155,16 +155,12 @@ func (s *Source) curvesFor(spec trace.Spec) *curvePair {
 		}
 	}
 	kilo := float64(s.CurveUops) / 1000
-	c := &curvePair{
+	return &curvePair{
 		data:       dataProf.MissRatioCurve(dataSnap, curveCapacities),
 		code:       codeProf.MissRatioCurve(codeSnap, curveCapacities),
 		dataAPKU:   float64(dataAccesses) / kilo,
 		iBlockAPKU: float64(iBlocks) / kilo,
 	}
-	s.mu.Lock()
-	s.curves[spec.Name] = c
-	s.mu.Unlock()
-	return c
 }
 
 // measured holds the warm-window measurement of one run.
@@ -212,6 +208,7 @@ func (s *Source) runOnce(spec trace.Spec, cc config.Core, ideal cpu.Ideal) measu
 }
 
 func (s *Source) measure(spec trace.Spec, ct config.CoreType) *interval.Profile {
+	s.measureRuns.Add(1)
 	cc := config.CoreOfType(ct)
 	curves := s.curvesFor(spec)
 

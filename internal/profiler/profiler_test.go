@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"smtflex/internal/config"
+	"smtflex/internal/interval"
 	"smtflex/internal/trace"
 	"smtflex/internal/workload"
 )
@@ -26,6 +27,42 @@ func spec(t *testing.T, name string) trace.Spec {
 		t.Fatal(err)
 	}
 	return s
+}
+
+func TestProfileConcurrentMissesMeasureOnce(t *testing.T) {
+	// Regression: the old check-then-compute cache let N concurrent misses
+	// for the same key each run the full measurement. With singleflight
+	// suppression exactly one measurement (and one curve pass) runs.
+	s := NewSource(20_000)
+	sp := spec(t, "tonto")
+	const goroutines = 8
+	var wg sync.WaitGroup
+	profiles := make([]*interval.Profile, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			profiles[g] = s.Profile(sp, config.Big)
+		}(g)
+	}
+	wg.Wait()
+	if n := s.measureRuns.Load(); n != 1 {
+		t.Errorf("%d measurements for one key under concurrent access, want 1", n)
+	}
+	if n := s.curveRuns.Load(); n != 1 {
+		t.Errorf("%d curve passes, want 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if profiles[g] != profiles[0] {
+			t.Fatalf("goroutine %d got a different profile pointer", g)
+		}
+	}
+
+	// Distinct core types share the curve pass but measure separately.
+	s.Profile(sp, config.Small)
+	if n, c := s.measureRuns.Load(), s.curveRuns.Load(); n != 2 || c != 1 {
+		t.Errorf("after second core type: %d measurements (want 2), %d curve passes (want 1)", n, c)
+	}
 }
 
 func TestProfileValidAndCached(t *testing.T) {

@@ -17,12 +17,18 @@ import (
 // source so only the solver mechanism changes.
 
 // withModel returns a Study that shares this study's profiles and workload
-// construction but solves with model m.
+// construction but solves with model m. Solo rates are model-independent
+// (they come from contention.Solve on the default model), so the derived
+// study shares the solo cache rather than recomputing identical rates; the
+// sweep cache is shared too because its keys include the model.
 func (s *Study) withModel(m contention.Model) *Study {
 	alt := New(s.Src)
 	alt.MixesPerCount = s.MixesPerCount
 	alt.Seed = s.Seed
 	alt.Model = m
+	alt.Parallelism = s.Parallelism
+	alt.solo = s.solo
+	alt.sweeps = s.sweeps
 	return alt
 }
 
@@ -70,15 +76,24 @@ func (s *Study) AblationSMTEfficiency() (*Table, error) {
 		}
 		t.Set(r, 0, h)
 		t.Set(r, 1, het)
-		best := 0.0
+		var hetero []config.Design
 		for _, d := range config.NineDesigns(true) {
 			if d.Name == "4B" || d.Name == "8m" || d.Name == "20s" {
 				continue
 			}
-			_, v, err := alt.fig8Row(d)
-			if err != nil {
-				return nil, err
-			}
+			hetero = append(hetero, d)
+		}
+		vals := make([]float64, len(hetero))
+		err = runIndexed(alt.workers(), len(hetero), func(i int) error {
+			_, v, err := alt.fig8Row(hetero[i])
+			vals[i] = v
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		best := 0.0
+		for _, v := range vals {
 			if v > best {
 				best = v
 			}

@@ -52,13 +52,14 @@ func (s *Study) ExtensionTurboBoost() (*Table, error) {
 		}
 
 		mixes := s.mixesAt(Homogeneous, n)
-		stps := make([]float64, 0, len(mixes))
-		for _, mix := range mixes {
-			r, err := s.EvaluateMix(boosted, mix)
-			if err != nil {
-				return nil, err
-			}
-			stps = append(stps, r.STP)
+		stps := make([]float64, len(mixes))
+		err := runIndexed(s.workers(), len(mixes), func(mi int) error {
+			r, err := s.EvaluateMix(boosted, mixes[mi])
+			stps[mi] = r.STP
+			return err
+		})
+		if err != nil {
+			return nil, err
 		}
 		var inv float64
 		for _, v := range stps {

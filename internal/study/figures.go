@@ -27,6 +27,21 @@ func designNames() []string {
 	return names
 }
 
+// sweepAll evaluates independent designs on the worker pool and returns
+// their sweeps in input order.
+func (s *Study) sweepAll(designs []config.Design, k Kind) ([]*Sweep, error) {
+	sweeps := make([]*Sweep, len(designs))
+	err := runIndexed(s.workers(), len(designs), func(i int) error {
+		sw, err := s.SweepDesign(designs[i], k)
+		sweeps[i] = sw
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sweeps, nil
+}
+
 // Table1 returns the three core configurations (a machine-readable Table 1).
 func Table1() *Table {
 	rows := []string{"width", "rob", "smt_contexts", "l1i_kb", "l1d_kb", "l2_kb", "ooo", "freq_ghz"}
@@ -76,15 +91,20 @@ func (s *Study) Figure1() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for r, name := range apps {
-		app, err := parallel.AppByName(name)
+	resByApp := make([]parallel.Result, len(apps))
+	err = runIndexed(s.workers(), len(apps), func(r int) error {
+		app, err := parallel.AppByName(apps[r])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := parallel.Evaluate(app, d, 20, s.Src)
-		if err != nil {
-			return nil, err
-		}
+		resByApp[r], err = parallel.Evaluate(app, d, 20, s.Src)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r := range apps {
+		res := resByApp[r]
 		for k := 1; k <= 24; k++ {
 			frac := res.Active[k-1]
 			var b int
@@ -112,11 +132,11 @@ func (s *Study) Figure1() (*Table, error) {
 func (s *Study) Figure3(k Kind) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 3%s: STP vs thread count, SMT, %s workloads", sub(k), k),
 		designNames(), threadCols())
-	for r, d := range config.NineDesigns(true) {
-		sw, err := s.SweepDesign(d, k)
-		if err != nil {
-			return nil, err
-		}
+	sweeps, err := s.sweepAll(config.NineDesigns(true), k)
+	if err != nil {
+		return nil, err
+	}
+	for r, sw := range sweeps {
 		for n := 1; n <= MaxThreads; n++ {
 			t.Set(r, n-1, sw.STP[n-1])
 		}
@@ -136,11 +156,11 @@ func sub(k Kind) string {
 func (s *Study) Figure4(bench string) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 4: STP vs thread count, homogeneous %s workload", bench),
 		designNames(), threadCols())
-	for r, d := range config.NineDesigns(true) {
-		sw, err := s.SweepDesign(d, Homogeneous)
-		if err != nil {
-			return nil, err
-		}
+	sweeps, err := s.sweepAll(config.NineDesigns(true), Homogeneous)
+	if err != nil {
+		return nil, err
+	}
+	for r, sw := range sweeps {
 		mi := -1
 		for i, name := range sw.MixNames {
 			if name == bench {
@@ -163,11 +183,11 @@ func (s *Study) Figure4(bench string) (*Table, error) {
 func (s *Study) Figure5() (*Table, error) {
 	t := NewTable("Figure 5: ANTT vs thread count, SMT, homogeneous workloads",
 		designNames(), threadCols())
-	for r, d := range config.NineDesigns(true) {
-		sw, err := s.SweepDesign(d, Homogeneous)
-		if err != nil {
-			return nil, err
-		}
+	sweeps, err := s.sweepAll(config.NineDesigns(true), Homogeneous)
+	if err != nil {
+		return nil, err
+	}
+	for r, sw := range sweeps {
 		for n := 1; n <= MaxThreads; n++ {
 			t.Set(r, n-1, sw.ANTT[n-1])
 		}
@@ -184,17 +204,23 @@ func (s *Study) uniformAverages(title string, designs []config.Design) (*Table, 
 	}
 	t := NewTable(title, names, []string{"homogeneous", "heterogeneous"})
 	u := dist.Uniform()
-	for r, d := range designs {
-		for c, k := range []Kind{Homogeneous, Heterogeneous} {
-			sw, err := s.SweepDesign(d, k)
-			if err != nil {
-				return nil, err
-			}
-			v, err := DistributionSTP(sw, u)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(r, c, v)
+	kinds := []Kind{Homogeneous, Heterogeneous}
+	vals := make([]float64, len(designs)*len(kinds))
+	err := runIndexed(s.workers(), len(vals), func(i int) error {
+		d, k := designs[i/len(kinds)], kinds[i%len(kinds)]
+		sw, err := s.SweepDesign(d, k)
+		if err != nil {
+			return err
+		}
+		vals[i], err = DistributionSTP(sw, u)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r := range designs {
+		for c := range kinds {
+			t.Set(r, c, vals[r*len(kinds)+c])
 		}
 	}
 	return t, nil
@@ -226,11 +252,11 @@ func (s *Study) Figure9() (*Table, error) {
 	designs := config.NineDesigns(true)
 	var t *Table
 	u := dist.Uniform()
-	for c, d := range designs {
-		sw, err := s.SweepDesign(d, Homogeneous)
-		if err != nil {
-			return nil, err
-		}
+	sweeps, err := s.sweepAll(designs, Homogeneous)
+	if err != nil {
+		return nil, err
+	}
+	for c, sw := range sweeps {
 		if t == nil {
 			t = NewTable("Figure 9: per-benchmark average STP, uniform distribution, SMT in all designs",
 				sw.MixNames, designNames())
@@ -265,11 +291,11 @@ func (s *Study) Figure10() (*Table, error) {
 		{dist.MirroredDatacenter(), false},
 		{dist.MirroredDatacenter(), true},
 	} {
-		for r, d := range config.NineDesigns(setup.smt) {
-			sw, err := s.SweepDesign(d, Heterogeneous)
-			if err != nil {
-				return nil, err
-			}
+		sweeps, err := s.sweepAll(config.NineDesigns(setup.smt), Heterogeneous)
+		if err != nil {
+			return nil, err
+		}
+		for r, sw := range sweeps {
 			v, err := DistributionSTP(sw, setup.d)
 			if err != nil {
 				return nil, err
@@ -311,13 +337,9 @@ func (s *Study) Figure13(k Kind) (*Table, error) {
 	}
 
 	for row, smt := range map[int]bool{1: false, 2: true} {
-		sweeps := make([]*Sweep, 0, 9)
-		for _, d := range config.NineDesigns(smt) {
-			sw, err := s.SweepDesign(d, k)
-			if err != nil {
-				return nil, err
-			}
-			sweeps = append(sweeps, sw)
+		sweeps, err := s.sweepAll(config.NineDesigns(smt), k)
+		if err != nil {
+			return nil, err
 		}
 		nMixes := len(sweeps[0].ByMix)
 		for n := 1; n <= MaxThreads; n++ {
@@ -345,11 +367,11 @@ func (s *Study) Figure14() (*Table, error) {
 	t := NewTable("Figure 14: power (W) vs thread count, power gating, SMT, homogeneous workloads",
 		designNames(), threadCols())
 	t.Precision = 1
-	for r, d := range config.NineDesigns(true) {
-		sw, err := s.SweepDesign(d, Homogeneous)
-		if err != nil {
-			return nil, err
-		}
+	sweeps, err := s.sweepAll(config.NineDesigns(true), Homogeneous)
+	if err != nil {
+		return nil, err
+	}
+	for r, sw := range sweeps {
 		for n := 1; n <= MaxThreads; n++ {
 			t.Set(r, n-1, sw.Watts[n-1])
 		}
@@ -365,12 +387,12 @@ func (s *Study) Figure15() (*Table, error) {
 		designNames(), []string{"STP", "watts", "energy_norm", "edp_norm"})
 	u := dist.Uniform()
 	type pp struct{ stp, w float64 }
+	sweeps, err := s.sweepAll(config.NineDesigns(true), Heterogeneous)
+	if err != nil {
+		return nil, err
+	}
 	vals := make([]pp, 0, 9)
-	for _, d := range config.NineDesigns(true) {
-		sw, err := s.SweepDesign(d, Heterogeneous)
-		if err != nil {
-			return nil, err
-		}
+	for _, sw := range sweeps {
 		stp, err := DistributionSTP(sw, u)
 		if err != nil {
 			return nil, err

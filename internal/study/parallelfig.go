@@ -79,19 +79,28 @@ func (s *Study) parallelSpeedupTable(title string, designs []config.Design) (*Ta
 		names[i] = d.Name + suffix
 	}
 	t := NewTable(title, names, []string{"ROI", "whole"})
-	for r, d := range designs {
-		var rois, wholes []float64
-		for _, name := range parallel.AppNames() {
-			app, err := parallel.AppByName(name)
-			if err != nil {
-				return nil, err
-			}
-			roi, whole, err := s.bestSpeedup(app, d)
-			if err != nil {
-				return nil, err
-			}
-			rois = append(rois, roi)
-			wholes = append(wholes, whole)
+	apps := parallel.AppNames()
+	type speedup struct{ roi, whole float64 }
+	vals := make([]speedup, len(designs)*len(apps))
+	err := runIndexed(s.workers(), len(vals), func(i int) error {
+		d, name := designs[i/len(apps)], apps[i%len(apps)]
+		app, err := parallel.AppByName(name)
+		if err != nil {
+			return err
+		}
+		roi, whole, err := s.bestSpeedup(app, d)
+		vals[i] = speedup{roi, whole}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r := range designs {
+		rois := make([]float64, len(apps))
+		wholes := make([]float64, len(apps))
+		for a := range apps {
+			rois[a] = vals[r*len(apps)+a].roi
+			wholes[a] = vals[r*len(apps)+a].whole
 		}
 		t.Set(r, 0, metrics.Mean(rois))
 		t.Set(r, 1, metrics.Mean(wholes))
@@ -117,22 +126,26 @@ func (s *Study) Figure12(phase string) (*Table, error) {
 	}
 	t := NewTable(fmt.Sprintf("Figure 12: per-application speedup (%s, SMT designs)", phase),
 		parallel.AppNames(), names)
-	for c, d := range designs {
-		for r, name := range parallel.AppNames() {
-			app, err := parallel.AppByName(name)
-			if err != nil {
-				return nil, err
-			}
-			roi, whole, err := s.bestSpeedup(app, d)
-			if err != nil {
-				return nil, err
-			}
-			v := roi
-			if phase == "whole" {
-				v = whole
-			}
-			t.Set(r, c, v)
+	apps := parallel.AppNames()
+	err := runIndexed(s.workers(), len(designs)*len(apps), func(i int) error {
+		c, r := i/len(apps), i%len(apps)
+		app, err := parallel.AppByName(apps[r])
+		if err != nil {
+			return err
 		}
+		roi, whole, err := s.bestSpeedup(app, designs[c])
+		if err != nil {
+			return err
+		}
+		v := roi
+		if phase == "whole" {
+			v = whole
+		}
+		t.Set(r, c, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

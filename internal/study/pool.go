@@ -1,0 +1,73 @@
+package study
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment engine: every sweep and figure driver fans its
+// independent evaluations over a bounded worker pool and writes results into
+// index-addressed slots, so the assembled tables are bit-for-bit identical
+// to the serial engine's regardless of completion order. The caches the
+// workers stress (profiles, solo rates, sweeps) use memo.Cache, whose
+// singleflight semantics make concurrent misses compute once.
+
+// workers resolves the pool size: Parallelism if positive, else GOMAXPROCS.
+func (s *Study) workers() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runIndexed runs fn(i) for every i in [0, n) on up to workers goroutines.
+// On error the pool stops handing out new indices and returns the error with
+// the lowest index among those observed (the serial engine's error, unless a
+// later index failed first and won the race to stop the pool). With one
+// worker it degenerates to the plain serial loop.
+func runIndexed(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -7,12 +7,13 @@ package study
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"smtflex/internal/config"
 	"smtflex/internal/contention"
 	"smtflex/internal/dist"
 	"smtflex/internal/interval"
+	"smtflex/internal/memo"
 	"smtflex/internal/metrics"
 	"smtflex/internal/power"
 	"smtflex/internal/profiler"
@@ -56,46 +57,54 @@ type Study struct {
 	// the calibrated default. Ablation studies build Studies with
 	// alternative models that share the same profile source.
 	Model contention.Model
+	// Parallelism bounds the experiment engine's worker pool; zero (the
+	// default) means GOMAXPROCS. One forces the serial engine.
+	Parallelism int
 
-	mu     sync.Mutex
-	solo   map[string]float64
-	sweeps map[string]*Sweep
+	// solo caches isolated big-core rates. The rates are model-independent,
+	// so withModel-derived ablation studies share this cache by pointer.
+	solo *memo.Cache[string, float64]
+	// sweeps caches design sweeps; keys include the model, so derived
+	// studies share this cache too.
+	sweeps *memo.Cache[string, *Sweep]
+
+	// soloComputes and sweepComputes count cache-miss computations performed
+	// by this Study — test instrumentation for the singleflight guarantees.
+	soloComputes  atomic.Int64
+	sweepComputes atomic.Int64
 }
 
 // New returns a Study with the paper's defaults.
 func New(src *profiler.Source) *Study {
-	return &Study{Src: src, MixesPerCount: 12, Seed: 20140301, solo: map[string]float64{}, sweeps: map[string]*Sweep{}}
+	return &Study{
+		Src: src, MixesPerCount: 12, Seed: 20140301,
+		solo:   &memo.Cache[string, float64]{},
+		sweeps: &memo.Cache[string, *Sweep]{},
+	}
 }
 
 // SoloRate returns a benchmark's isolated progress rate (µops/ns) on the big
-// core — the normalization reference for STP and ANTT.
+// core — the normalization reference for STP and ANTT. Concurrent calls for
+// the same benchmark compute the rate once.
 func (s *Study) SoloRate(bench string) (float64, error) {
-	s.mu.Lock()
-	if r, ok := s.solo[bench]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-
-	spec, err := workload.ByName(bench)
-	if err != nil {
-		return 0, err
-	}
-	d := config.NewDesign("solo-big", 1, 0, 0, false)
-	p := contention.Placement{
-		Design:   d,
-		CoreOf:   []int{0},
-		Profiles: []*interval.Profile{s.Src.Profile(spec, config.Big)},
-	}
-	res, err := contention.Solve(p)
-	if err != nil {
-		return 0, err
-	}
-	r := res.Threads[0].UopsPerNs
-	s.mu.Lock()
-	s.solo[bench] = r
-	s.mu.Unlock()
-	return r, nil
+	return s.solo.Get(bench, func() (float64, error) {
+		s.soloComputes.Add(1)
+		spec, err := workload.ByName(bench)
+		if err != nil {
+			return 0, err
+		}
+		d := config.NewDesign("solo-big", 1, 0, 0, false)
+		p := contention.Placement{
+			Design:   d,
+			CoreOf:   []int{0},
+			Profiles: []*interval.Profile{s.Src.Profile(spec, config.Big)},
+		}
+		res, err := contention.Solve(p)
+		if err != nil {
+			return 0, err
+		}
+		return res.Threads[0].UopsPerNs, nil
+	})
 }
 
 // MixResult is the evaluation of one mix on one design.
@@ -190,16 +199,19 @@ func (s *Study) mixesAt(k Kind, n int) []workload.Mix {
 }
 
 // SweepDesign evaluates the design across 1..24 threads for the workload
-// kind, caching the result.
+// kind, caching the result. Concurrent calls for the same (design, kind,
+// model) compute the sweep once; the evaluation itself fans every
+// (thread count, mix) pair over the worker pool and assembles the result in
+// index order, so the sweep is bit-for-bit identical to the serial engine's.
 func (s *Study) SweepDesign(d config.Design, k Kind) (*Sweep, error) {
-	key := s.sweepKey(d, k)
-	s.mu.Lock()
-	if sw, ok := s.sweeps[key]; ok {
-		s.mu.Unlock()
-		return sw, nil
-	}
-	s.mu.Unlock()
+	return s.sweeps.Get(s.sweepKey(d, k), func() (*Sweep, error) {
+		s.sweepComputes.Add(1)
+		return s.computeSweep(d, k)
+	})
+}
 
+// computeSweep does the actual evaluation behind SweepDesign's cache.
+func (s *Study) computeSweep(d config.Design, k Kind) (*Sweep, error) {
 	sw := &Sweep{Design: d, Kind: k}
 	nMixes := len(s.mixesAt(k, 1))
 	sw.ByMix = make([][MaxThreads]float64, nMixes)
@@ -211,19 +223,39 @@ func (s *Study) SweepDesign(d config.Design, k Kind) (*Sweep, error) {
 		sw.MixNames = append(sw.MixNames, name)
 	}
 
+	// Mix construction is cheap and deterministic; materialize the whole
+	// grid up front so the workers only evaluate.
+	mixes := make([][]workload.Mix, MaxThreads+1)
 	for n := 1; n <= MaxThreads; n++ {
-		mixes := s.mixesAt(k, n)
-		if len(mixes) != nMixes {
-			return nil, fmt.Errorf("study: mix count changed from %d to %d at n=%d", nMixes, len(mixes), n)
+		mixes[n] = s.mixesAt(k, n)
+		if len(mixes[n]) != nMixes {
+			return nil, fmt.Errorf("study: mix count changed from %d to %d at n=%d", nMixes, len(mixes[n]), n)
 		}
-		stps := make([]float64, len(mixes))
-		antts := make([]float64, len(mixes))
-		watts := make([]float64, len(mixes))
-		for mi, mix := range mixes {
-			r, err := s.EvaluateMix(d, mix)
-			if err != nil {
-				return nil, fmt.Errorf("study: %s on %s: %w", mix.ID, d.Name, err)
-			}
+	}
+
+	results := make([][]MixResult, MaxThreads)
+	for i := range results {
+		results[i] = make([]MixResult, nMixes)
+	}
+	err := runIndexed(s.workers(), MaxThreads*nMixes, func(i int) error {
+		n, mi := i/nMixes+1, i%nMixes
+		r, err := s.EvaluateMix(d, mixes[n][mi])
+		if err != nil {
+			return fmt.Errorf("study: %s on %s: %w", mixes[n][mi].ID, d.Name, err)
+		}
+		results[n-1][mi] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for n := 1; n <= MaxThreads; n++ {
+		stps := make([]float64, nMixes)
+		antts := make([]float64, nMixes)
+		watts := make([]float64, nMixes)
+		for mi := 0; mi < nMixes; mi++ {
+			r := results[n-1][mi]
 			stps[mi] = r.STP
 			antts[mi] = r.ANTT
 			watts[mi] = r.Watts
@@ -237,10 +269,6 @@ func (s *Study) SweepDesign(d config.Design, k Kind) (*Sweep, error) {
 		sw.ANTT[n-1] = metrics.Mean(antts)
 		sw.Watts[n-1] = metrics.Mean(watts)
 	}
-
-	s.mu.Lock()
-	s.sweeps[key] = sw
-	s.mu.Unlock()
 	return sw, nil
 }
 
