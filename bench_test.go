@@ -13,6 +13,13 @@
 package smtflex
 
 import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -25,6 +32,7 @@ import (
 	"smtflex/internal/multicore"
 	"smtflex/internal/profiler"
 	"smtflex/internal/sched"
+	"smtflex/internal/server"
 	"smtflex/internal/study"
 	"smtflex/internal/trace"
 	"smtflex/internal/workload"
@@ -48,7 +56,7 @@ func benchFigure(b *testing.B, id string) {
 	sim := simulator()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab, err := sim.Figure(id)
+		tab, err := sim.Figure(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +132,7 @@ func benchMultiDesignSweep(b *testing.B, parallelism int) {
 		st.Parallelism = parallelism
 		for _, d := range designs {
 			for _, k := range []study.Kind{study.Homogeneous, study.Heterogeneous} {
-				if _, err := st.SweepDesign(d, k); err != nil {
+				if _, err := st.SweepDesign(context.Background(), d, k); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -134,6 +142,49 @@ func benchMultiDesignSweep(b *testing.B, parallelism int) {
 
 func BenchmarkMultiDesignSweepSerial(b *testing.B)   { benchMultiDesignSweep(b, 1) }
 func BenchmarkMultiDesignSweepParallel(b *testing.B) { benchMultiDesignSweep(b, 0) }
+
+// --- Server benchmarks ---
+
+// BenchmarkServerSweep measures one /v1/sweep round-trip over HTTP against
+// a warm engine — the steady-state cost of serving a cached sweep: routing,
+// admission, cache lookup and JSON encoding.
+func BenchmarkServerSweep(b *testing.B) {
+	srv, err := server.New(server.Config{
+		Sim:    simulator(),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := []byte(`{"design":"4B","kind":"homogeneous"}`)
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm the sweep cache outside the timed region.
+	if err := post(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := post(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Engine microbenchmarks ---
 

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -62,7 +64,7 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		tab, err := sim.Figure(id)
+		tab, err := sim.Figure(context.Background(), id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
 			os.Exit(1)

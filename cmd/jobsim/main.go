@@ -1,21 +1,23 @@
 // Command jobsim simulates a stream of arriving and departing jobs — the
 // paper's motivating dynamic multiprogramming scenario — on one or more
 // design points and reports makespan, turnaround, mean active thread count
-// and energy.
+// and energy. Designs are simulated in parallel (-j), sharing one profiled
+// engine with the other tools.
 //
 // Usage:
 //
-//	jobsim -designs 4B,20s -jobs 40 -interarrival 1.5e6 -work 2e7
+//	jobsim -designs 4B,20s -jobs 40 -interarrival 1.5e6 -work 2e7 -j 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
-	"smtflex/internal/config"
-	"smtflex/internal/profiler"
+	"smtflex/internal/core"
 	"smtflex/internal/timeline"
 )
 
@@ -27,25 +29,26 @@ func main() {
 	work := flag.Float64("work", 2e7, "mean job work in µops")
 	seed := flag.Uint64("seed", 2014, "workload seed")
 	uops := flag.Uint64("profile-uops", 200_000, "µops per profiling run")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "designs simulated in parallel (1 = serial)")
 	flag.Parse()
 
-	src := profiler.NewSource(*uops)
+	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithParallelism(*workers))
 	jobs := timeline.PoissonWorkload(*nJobs, *inter, *work, *seed)
 
-	fmt.Println("design   makespan(ms)  mean-turnaround(ms)  mean-active  energy(J)")
+	var names []string
 	for _, name := range strings.Split(*designs, ",") {
-		name = strings.TrimSpace(name)
-		d, err := config.DesignByName(name, *smt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "jobsim: %v\n", err)
-			os.Exit(1)
-		}
-		res, err := timeline.Simulate(d, jobs, src)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "jobsim: %v\n", err)
-			os.Exit(1)
-		}
+		names = append(names, strings.TrimSpace(name))
+	}
+	runs, err := sim.JobStream(context.Background(), names, *smt, jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jobsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("design   makespan(ms)  mean-turnaround(ms)  mean-active  energy(J)")
+	for _, run := range runs {
+		res := run.Result
 		fmt.Printf("%-6s %12.2f %20.2f %12.2f %10.3f\n",
-			name, res.MakespanNs/1e6, res.MeanTurnaroundNs/1e6, res.MeanActive, res.EnergyJoules)
+			run.Design, res.MakespanNs/1e6, res.MeanTurnaroundNs/1e6, res.MeanActive, res.EnergyJoules)
 	}
 }

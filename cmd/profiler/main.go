@@ -29,13 +29,7 @@ func main() {
 
 	src := profiler.NewSource(*uops)
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
-			os.Exit(1)
-		}
-		n, err := src.LoadJSON(f)
-		f.Close()
+		n, err := src.LoadJSONFile(*load)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
 			os.Exit(1)
@@ -92,13 +86,9 @@ func main() {
 	}
 
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := src.SaveJSON(f); err != nil {
+		// Crash-safe: temp file in the same directory + atomic rename, so an
+		// interrupted run never truncates an existing profile file.
+		if err := src.SaveJSONFile(*save); err != nil {
 			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
 			os.Exit(1)
 		}

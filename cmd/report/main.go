@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +28,7 @@ func main() {
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithParallelism(*workers))
 	start := time.Now()
 
-	findings, err := sim.Study().CheckFindings()
+	findings, err := sim.Study().CheckFindings(context.Background())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
 		os.Exit(1)
@@ -53,7 +55,7 @@ func main() {
 	if *figures {
 		fmt.Println()
 		for _, id := range core.FigureIDs() {
-			tab, err := sim.Figure(id)
+			tab, err := sim.Figure(context.Background(), id)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "report: %s: %v\n", id, err)
 				os.Exit(1)

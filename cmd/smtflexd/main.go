@@ -1,0 +1,114 @@
+// Command smtflexd serves the experiment engine as a long-running HTTP/JSON
+// service: design sweeps, placement queries, figure tables and job-stream
+// simulation, with admission control, per-request deadlines, request
+// coalescing, Prometheus-style metrics and graceful shutdown.
+//
+// Usage:
+//
+//	smtflexd -addr :8080 -concurrency 8 -queue 64 -cache-cap 256
+//
+// Endpoints:
+//
+//	POST /v1/sweep        {"design":"4B","kind":"homogeneous"}
+//	POST /v1/place        {"design":"4B","programs":["tonto","calculix"]}
+//	GET  /v1/figures/{id} e.g. /v1/figures/fig7
+//	POST /v1/jobsim       {"designs":["4B","20s"],"jobs":40}
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGINT/SIGTERM drains in-flight requests (up to -drain) before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"smtflex/internal/core"
+	"smtflex/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0), "max concurrently executing requests")
+	queue := flag.Int("queue", 64, "max requests waiting for an execution slot; beyond this, shed with 503")
+	deadline := flag.Duration("deadline", 60*time.Second, "default per-request deadline")
+	maxDeadline := flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested ?timeout_ms= deadlines")
+	drain := flag.Duration("drain", 2*time.Minute, "how long graceful shutdown waits for in-flight requests")
+	uops := flag.Uint64("uops", 200_000, "cycle-engine µops per profiling run")
+	mixes := flag.Int("mixes", 12, "random heterogeneous mixes per thread count")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
+	cacheCap := flag.Int("cache-cap", 512, "max cached sweeps before LRU eviction (0 = unbounded)")
+	logJSON := flag.Bool("log-json", false, "log in JSON instead of text")
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	sim := core.NewSimulator(
+		core.WithUopCount(*uops),
+		core.WithMixesPerCount(*mixes),
+		core.WithParallelism(*workers),
+		core.WithCacheCap(*cacheCap),
+	)
+	queueDepth := *queue
+	if queueDepth == 0 {
+		queueDepth = -1 // flag 0 means "no waiting room", not the default
+	}
+	srv, err := server.New(server.Config{
+		Sim:            sim,
+		MaxConcurrent:  *concurrency,
+		QueueDepth:     queueDepth,
+		DefaultTimeout: *deadline,
+		MaxTimeout:     *maxDeadline,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("smtflexd listening", "addr", *addr, "concurrency", *concurrency, "queue", *queue)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down, draining in-flight requests", "drain", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "smtflexd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("smtflexd stopped")
+}

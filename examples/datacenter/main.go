@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -25,7 +27,7 @@ func main() {
 			bestName, bestSTP := "", 0.0
 			var fourB float64
 			for _, design := range config.NineDesigns(smt) {
-				sw, err := st.SweepDesign(design, study.Heterogeneous)
+				sw, err := st.SweepDesign(context.Background(), design, study.Heterogeneous)
 				if err != nil {
 					log.Fatal(err)
 				}

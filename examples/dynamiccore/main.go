@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -17,7 +19,7 @@ func main() {
 	sim := core.NewSimulator(core.WithUopCount(100_000))
 	st := sim.Study()
 
-	tab, err := st.Figure13(study.Heterogeneous)
+	tab, err := st.Figure13(context.Background(), study.Heterogeneous)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +27,7 @@ func main() {
 	// Which static design would the ideal dynamic core pick at each count?
 	sweeps := map[string]*study.Sweep{}
 	for _, d := range config.NineDesigns(false) {
-		sw, err := st.SweepDesign(d, study.Heterogeneous)
+		sw, err := st.SweepDesign(context.Background(), d, study.Heterogeneous)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,7 @@ import (
 	"smtflex/internal/parallel"
 	"smtflex/internal/profiler"
 	"smtflex/internal/study"
+	"smtflex/internal/timeline"
 	"smtflex/internal/workload"
 )
 
@@ -41,6 +43,7 @@ type settings struct {
 	mixesPerCount int
 	seed          int64
 	parallelism   int
+	cacheCap      int
 }
 
 // WithUopCount sets the cycle-engine measurement length per profiling run.
@@ -67,6 +70,15 @@ func WithParallelism(n int) Option {
 	return func(s *settings) { s.parallelism = n }
 }
 
+// WithCacheCap bounds the design-sweep cache at n entries with LRU
+// eviction — for long-running servers whose request history would otherwise
+// grow the cache without limit. Zero (the default) keeps every sweep
+// forever, the right choice for batch runs that regenerate fixed figure
+// sets.
+func WithCacheCap(n int) Option {
+	return func(s *settings) { s.cacheCap = n }
+}
+
 // NewSimulator returns a Simulator with the paper's defaults.
 func NewSimulator(opts ...Option) *Simulator {
 	cfg := settings{uopCount: 200_000, mixesPerCount: 12, seed: 20140301}
@@ -78,6 +90,9 @@ func NewSimulator(opts ...Option) *Simulator {
 	st.MixesPerCount = cfg.mixesPerCount
 	st.Seed = cfg.seed
 	st.Parallelism = cfg.parallelism
+	if cfg.cacheCap > 0 {
+		st.BoundCaches(cfg.cacheCap)
+	}
 	return &Simulator{src: src, st: st}
 }
 
@@ -148,44 +163,52 @@ func (s *Simulator) RunCycleAccurate(designName string, smt bool, programs []str
 }
 
 // figureFunc builds one table.
-type figureFunc func(*study.Study) (*study.Table, error)
+type figureFunc func(context.Context, *study.Study) (*study.Table, error)
 
 // figureRegistry maps figure/table identifiers to their drivers.
 var figureRegistry = map[string]figureFunc{
-	"table1": func(*study.Study) (*study.Table, error) { return study.Table1(), nil },
-	"fig1":   func(st *study.Study) (*study.Table, error) { return st.Figure1() },
-	"fig2":   func(*study.Study) (*study.Table, error) { return study.Figure2(), nil },
-	"fig3a":  func(st *study.Study) (*study.Table, error) { return st.Figure3(study.Homogeneous) },
-	"fig3b":  func(st *study.Study) (*study.Table, error) { return st.Figure3(study.Heterogeneous) },
-	"fig4a":  func(st *study.Study) (*study.Table, error) { return st.Figure4("tonto") },
-	"fig4b":  func(st *study.Study) (*study.Table, error) { return st.Figure4("libquantum") },
-	"fig5":   func(st *study.Study) (*study.Table, error) { return st.Figure5() },
-	"fig6":   func(st *study.Study) (*study.Table, error) { return st.Figure6() },
-	"fig7":   func(st *study.Study) (*study.Table, error) { return st.Figure7() },
-	"fig8":   func(st *study.Study) (*study.Table, error) { return st.Figure8() },
-	"fig9":   func(st *study.Study) (*study.Table, error) { return st.Figure9() },
-	"fig10a": func(*study.Study) (*study.Table, error) { return study.Figure10a(), nil },
-	"fig10b": func(st *study.Study) (*study.Table, error) { return st.Figure10() },
-	"fig11":  func(st *study.Study) (*study.Table, error) { return st.Figure11() },
-	"fig12a": func(st *study.Study) (*study.Table, error) { return st.Figure12("ROI") },
-	"fig12b": func(st *study.Study) (*study.Table, error) { return st.Figure12("whole") },
-	"fig13a": func(st *study.Study) (*study.Table, error) { return st.Figure13(study.Homogeneous) },
-	"fig13b": func(st *study.Study) (*study.Table, error) { return st.Figure13(study.Heterogeneous) },
-	"fig14":  func(st *study.Study) (*study.Table, error) { return st.Figure14() },
-	"fig15":  func(st *study.Study) (*study.Table, error) { return st.Figure15() },
-	"fig16":  func(st *study.Study) (*study.Table, error) { return st.Figure16() },
-	"fig17a": func(st *study.Study) (*study.Table, error) { return st.Figure17a() },
-	"fig17b": func(st *study.Study) (*study.Table, error) { return st.Figure17b() },
+	"table1": func(context.Context, *study.Study) (*study.Table, error) { return study.Table1(), nil },
+	"fig1":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure1(ctx) },
+	"fig2":   func(context.Context, *study.Study) (*study.Table, error) { return study.Figure2(), nil },
+	"fig3a": func(ctx context.Context, st *study.Study) (*study.Table, error) {
+		return st.Figure3(ctx, study.Homogeneous)
+	},
+	"fig3b": func(ctx context.Context, st *study.Study) (*study.Table, error) {
+		return st.Figure3(ctx, study.Heterogeneous)
+	},
+	"fig4a":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure4(ctx, "tonto") },
+	"fig4b":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure4(ctx, "libquantum") },
+	"fig5":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure5(ctx) },
+	"fig6":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure6(ctx) },
+	"fig7":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure7(ctx) },
+	"fig8":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure8(ctx) },
+	"fig9":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure9(ctx) },
+	"fig10a": func(context.Context, *study.Study) (*study.Table, error) { return study.Figure10a(), nil },
+	"fig10b": func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure10(ctx) },
+	"fig11":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure11(ctx) },
+	"fig12a": func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure12(ctx, "ROI") },
+	"fig12b": func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure12(ctx, "whole") },
+	"fig13a": func(ctx context.Context, st *study.Study) (*study.Table, error) {
+		return st.Figure13(ctx, study.Homogeneous)
+	},
+	"fig13b": func(ctx context.Context, st *study.Study) (*study.Table, error) {
+		return st.Figure13(ctx, study.Heterogeneous)
+	},
+	"fig14":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure14(ctx) },
+	"fig15":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure15(ctx) },
+	"fig16":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure16(ctx) },
+	"fig17a": func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure17a(ctx) },
+	"fig17b": func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.Figure17b(ctx) },
 
 	// Ablations of the modelling decisions (see DESIGN.md) and extensions
 	// from the paper's discussion section.
-	"abl-smteff":  func(st *study.Study) (*study.Table, error) { return st.AblationSMTEfficiency() },
-	"abl-llc":     func(st *study.Study) (*study.Table, error) { return st.AblationLLCPolicy() },
-	"abl-queue":   func(st *study.Study) (*study.Table, error) { return st.AblationQueueing() },
-	"abl-visible": func(st *study.Study) (*study.Table, error) { return st.AblationWindowVisible() },
-	"abl-sched":   func(st *study.Study) (*study.Table, error) { return st.AblationScheduler() },
-	"ext-turbo":   func(st *study.Study) (*study.Table, error) { return st.ExtensionTurboBoost() },
-	"ext-serial":  func(st *study.Study) (*study.Table, error) { return st.ExtensionSerialBoost() },
+	"abl-smteff":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.AblationSMTEfficiency(ctx) },
+	"abl-llc":     func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.AblationLLCPolicy(ctx) },
+	"abl-queue":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.AblationQueueing(ctx) },
+	"abl-visible": func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.AblationWindowVisible(ctx) },
+	"abl-sched":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.AblationScheduler(ctx) },
+	"ext-turbo":   func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.ExtensionTurboBoost(ctx) },
+	"ext-serial":  func(ctx context.Context, st *study.Study) (*study.Table, error) { return st.ExtensionSerialBoost(ctx) },
 }
 
 // FigureIDs lists every reproducible table/figure identifier, sorted.
@@ -198,11 +221,44 @@ func FigureIDs() []string {
 	return ids
 }
 
-// Figure regenerates the identified table or figure.
-func (s *Simulator) Figure(id string) (*study.Table, error) {
+// Figure regenerates the identified table or figure. The context cancels
+// the underlying simulation campaign: the experiment engine stops handing
+// work to its pool when ctx is done.
+func (s *Simulator) Figure(ctx context.Context, id string) (*study.Table, error) {
 	f, ok := figureRegistry[id]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown figure %q (known: %v)", id, FigureIDs())
 	}
-	return f(s.st)
+	return f(ctx, s.st)
+}
+
+// JobRun is the outcome of one design in a JobStream call.
+type JobRun struct {
+	// Design is the design's name.
+	Design string
+	// Result is the timeline simulation outcome.
+	Result timeline.Result
+}
+
+// JobStream simulates a stream of arriving and departing jobs — the paper's
+// motivating dynamic multiprogramming scenario — on each named design,
+// fanning independent designs over the experiment engine's worker pool.
+func (s *Simulator) JobStream(ctx context.Context, designNames []string, smt bool, jobs []timeline.Job) ([]JobRun, error) {
+	designs := make([]config.Design, len(designNames))
+	for i, name := range designNames {
+		d, err := config.DesignByName(name, smt)
+		if err != nil {
+			return nil, err
+		}
+		designs[i] = d
+	}
+	results, err := s.st.RunJobs(ctx, designs, jobs)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]JobRun, len(designs))
+	for i := range designs {
+		runs[i] = JobRun{Design: designs[i].Name, Result: results[i]}
+	}
+	return runs, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"sync"
 	"testing"
@@ -47,7 +49,7 @@ func TestFigureIDsComplete(t *testing.T) {
 }
 
 func TestFigureUnknown(t *testing.T) {
-	if _, err := sharedSim().Figure("fig99"); err == nil {
+	if _, err := sharedSim().Figure(context.Background(), "fig99"); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
@@ -55,7 +57,7 @@ func TestFigureUnknown(t *testing.T) {
 func TestStaticFigures(t *testing.T) {
 	s := sharedSim()
 	for _, id := range []string{"table1", "fig2", "fig10a"} {
-		tab, err := s.Figure(id)
+		tab, err := s.Figure(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

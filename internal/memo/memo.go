@@ -1,16 +1,35 @@
 // Package memo provides a concurrency-safe memoizing cache with
 // singleflight duplicate suppression: when several goroutines miss on the
 // same key at once, exactly one runs the compute function while the others
-// block and share its result. Successful results are cached forever;
-// failures are not cached, so a later caller retries the computation.
+// block and share its result. Successful results are cached forever by
+// default; failures are not cached, so a later caller retries the
+// computation.
 //
 // The experiment engine leans on this for the three compute-once tables the
 // parallel sweep hammers — benchmark profiles, solo rates and design
 // sweeps — where a plain check-then-compute cache would let N concurrent
 // misses run the same expensive measurement N times.
+//
+// Two additions serve long-running daemons (see internal/server):
+//
+//   - GetCtx coalesces identical in-flight computations across requests and
+//     threads cancellation through: every waiter is reference-counted, and
+//     when the last interested waiter abandons the key, the shared compute's
+//     context is cancelled so the work stops instead of burning workers for
+//     a client that hung up.
+//   - Bound caps the cache at a maximum number of completed entries with
+//     least-recently-used eviction, so a server's sweep cache cannot grow
+//     without limit across a long request history. Batch CLIs simply never
+//     call Bound and keep the forever-cache semantics.
 package memo
 
-import "sync"
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
 
 // entry is one in-flight or completed computation. done is closed once val
 // and err are final.
@@ -18,13 +37,86 @@ type entry[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+
+	// waiters counts GetCtx callers currently interested in this entry;
+	// cancel (set only for GetCtx-created entries) aborts the compute when
+	// the count drops to zero before completion.
+	waiters int
+	cancel  context.CancelFunc
+	// elem is the entry's node in the LRU list; nil while in flight or when
+	// the cache is unbounded and the entry predates Bound.
+	elem *list.Element
 }
 
 // Cache memoizes compute results by key. The zero value is ready to use.
 // It must not be copied after first use.
 type Cache[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*entry[V]
+	mu  sync.Mutex
+	m   map[K]*entry[V]
+	lru *list.List // completed entries, most recent first; values are keys
+	cap int        // 0 = unbounded
+
+	hits, misses atomic.Int64
+}
+
+// init lazily allocates the map and LRU list. Callers hold mu.
+func (c *Cache[K, V]) init() {
+	if c.m == nil {
+		c.m = make(map[K]*entry[V])
+	}
+	if c.lru == nil {
+		c.lru = list.New()
+	}
+}
+
+// recordLocked registers a completed successful entry in the LRU order and
+// evicts past the bound. Callers hold mu.
+func (c *Cache[K, V]) recordLocked(key K, e *entry[V]) {
+	e.elem = c.lru.PushFront(key)
+	c.evictLocked()
+}
+
+// touchLocked marks a completed entry as recently used. Callers hold mu.
+func (c *Cache[K, V]) touchLocked(e *entry[V]) {
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// evictLocked removes least-recently-used completed entries until the cache
+// is within its bound. In-flight entries are never on the list and are never
+// evicted. Callers hold mu.
+func (c *Cache[K, V]) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		key := back.Value.(K)
+		c.lru.Remove(back)
+		if e, ok := c.m[key]; ok && e.elem == back {
+			delete(c.m, key)
+		}
+	}
+}
+
+// Bound caps the cache at maxEntries completed entries, evicting the least
+// recently used beyond that. Zero (the default) means unbounded. Entries
+// cached before the first Bound call are not tracked for eviction; bound a
+// cache before filling it.
+func (c *Cache[K, V]) Bound(maxEntries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.init()
+	c.cap = maxEntries
+	c.evictLocked()
+}
+
+// Stats returns the cumulative hit and miss counts across Get and GetCtx.
+// A hit is a call that found an entry (completed or in flight); a miss is a
+// call that started a computation.
+func (c *Cache[K, V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Get returns the cached value for key, computing it with compute on the
@@ -34,27 +126,113 @@ type Cache[K comparable, V any] struct {
 // cache's lock is never held while compute runs.
 func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[K]*entry[V])
-	}
+	c.init()
 	if e, ok := c.m[key]; ok {
+		c.hits.Add(1)
+		c.touchLocked(e)
 		c.mu.Unlock()
 		<-e.done
 		return e.val, e.err
 	}
+	c.misses.Add(1)
 	e := &entry[V]{done: make(chan struct{})}
 	c.m[key] = e
 	c.mu.Unlock()
 
 	e.val, e.err = compute()
+	c.mu.Lock()
 	if e.err != nil {
 		// Leave failures uncached so the next caller can retry.
-		c.mu.Lock()
-		delete(c.m, key)
-		c.mu.Unlock()
+		if cur, ok := c.m[key]; ok && cur == e {
+			delete(c.m, key)
+		}
+	} else if cur, ok := c.m[key]; ok && cur == e {
+		// Not replaced by Put while computing: track for eviction.
+		c.recordLocked(key, e)
 	}
+	c.mu.Unlock()
 	close(e.done)
 	return e.val, e.err
+}
+
+// GetCtx is Get with cancellation: identical in-flight calls coalesce onto
+// one compute, and each caller waits only as long as its own ctx allows. The
+// compute runs under a context of its own that is cancelled when every
+// caller interested in the key has gone — so abandoning a request stops the
+// shared work, but only once nobody else still wants the result. A compute
+// aborted that way is uncached like any failure; a later caller with a live
+// context transparently restarts it.
+//
+// Entries created by GetCtx must not be awaited with plain Get on the same
+// key (Get does not register as an interested waiter, so the compute could
+// be cancelled underneath it).
+func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, compute func(context.Context) (V, error)) (V, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return *new(V), err
+		}
+		c.mu.Lock()
+		c.init()
+		e, ok := c.m[key]
+		if ok {
+			c.hits.Add(1)
+			select {
+			case <-e.done:
+				// Completed entry: return it, unless it is the residue of an
+				// abandoned compute — then loop and recompute.
+				c.touchLocked(e)
+				c.mu.Unlock()
+				if errors.Is(e.err, context.Canceled) {
+					continue
+				}
+				return e.val, e.err
+			default:
+			}
+			e.waiters++
+			c.mu.Unlock()
+		} else {
+			c.misses.Add(1)
+			cctx, cancel := context.WithCancel(context.Background())
+			e = &entry[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+			c.m[key] = e
+			c.mu.Unlock()
+			go func() {
+				val, err := compute(cctx)
+				cancel()
+				c.mu.Lock()
+				e.val, e.err = val, err
+				if err != nil {
+					if cur, ok := c.m[key]; ok && cur == e {
+						delete(c.m, key)
+					}
+				} else if cur, ok := c.m[key]; ok && cur == e {
+					c.recordLocked(key, e)
+				}
+				c.mu.Unlock()
+				close(e.done)
+			}()
+		}
+
+		select {
+		case <-e.done:
+			c.mu.Lock()
+			e.waiters--
+			c.mu.Unlock()
+			if errors.Is(e.err, context.Canceled) {
+				continue
+			}
+			return e.val, e.err
+		case <-ctx.Done():
+			c.mu.Lock()
+			e.waiters--
+			abandoned := e.waiters == 0
+			c.mu.Unlock()
+			if abandoned && e.cancel != nil {
+				e.cancel()
+			}
+			return *new(V), ctx.Err()
+		}
+	}
 }
 
 // Cached returns the completed value for key, if present. It does not wait
@@ -85,10 +263,13 @@ func (c *Cache[K, V]) Put(key K, val V) {
 	e := &entry[V]{done: make(chan struct{}), val: val}
 	close(e.done)
 	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[K]*entry[V])
+	c.init()
+	if old, ok := c.m[key]; ok && old.elem != nil {
+		c.lru.Remove(old.elem)
+		old.elem = nil
 	}
 	c.m[key] = e
+	c.recordLocked(key, e)
 	c.mu.Unlock()
 }
 

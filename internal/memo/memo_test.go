@@ -1,10 +1,12 @@
 package memo
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGetMemoizes(t *testing.T) {
@@ -106,5 +108,183 @@ func TestCached(t *testing.T) {
 	v, ok := c.Cached("k")
 	if !ok || v != 5 {
 		t.Fatalf("Cached = %d, %t", v, ok)
+	}
+}
+
+func TestGetCtxCoalesces(t *testing.T) {
+	var c Cache[string, int]
+	var calls atomic.Int64
+	var release sync.WaitGroup
+	release.Add(1)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetCtx(context.Background(), "k", func(context.Context) (int, error) {
+				calls.Add(1)
+				release.Wait()
+				return 11, nil
+			})
+			if err != nil || v != 11 {
+				t.Errorf("got %d, %v", v, err)
+			}
+		}()
+	}
+	release.Done()
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", hits, misses, goroutines-1)
+	}
+}
+
+// TestGetCtxCancelsAbandonedCompute is the daemon cancellation contract:
+// when every waiter abandons an in-flight key, the compute's context is
+// cancelled, the failed entry is not cached, and a later caller recomputes.
+func TestGetCtxCancelsAbandonedCompute(t *testing.T) {
+	var c Cache[string, int]
+	started := make(chan struct{})
+	computeCancelled := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.GetCtx(ctx, "k", func(cctx context.Context) (int, error) {
+			close(started)
+			<-cctx.Done() // the compute observes the abandonment
+			close(computeCancelled)
+			return 0, cctx.Err()
+		})
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter got %v, want context.Canceled", err)
+	}
+	<-computeCancelled
+
+	// The aborted compute must not be cached: a fresh caller recomputes.
+	v, err := c.GetCtx(context.Background(), "k", func(context.Context) (int, error) { return 23, nil })
+	if err != nil || v != 23 {
+		t.Fatalf("recompute got %d, %v", v, err)
+	}
+}
+
+// TestGetCtxSurvivingWaiterKeepsCompute: one waiter leaving must not cancel
+// a compute another waiter still wants.
+func TestGetCtxSurvivingWaiterKeepsCompute(t *testing.T) {
+	var c Cache[string, int]
+	started := make(chan struct{})
+	var release sync.WaitGroup
+	release.Add(1)
+
+	survivor := make(chan error, 1)
+	go func() {
+		v, err := c.GetCtx(context.Background(), "k", func(cctx context.Context) (int, error) {
+			close(started)
+			release.Wait()
+			if cctx.Err() != nil {
+				return 0, cctx.Err()
+			}
+			return 31, nil
+		})
+		if v != 31 && err == nil {
+			err = errors.New("wrong value")
+		}
+		survivor <- err
+	}()
+	<-started
+
+	quitCtx, quit := context.WithCancel(context.Background())
+	joined := make(chan error, 1)
+	go func() {
+		_, err := c.GetCtx(quitCtx, "k", func(context.Context) (int, error) {
+			return 0, errors.New("must coalesce, not recompute")
+		})
+		joined <- err
+	}()
+	// Let the second waiter join, then abandon it.
+	for {
+		if h, _ := c.Stats(); h > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	quit()
+	if err := <-joined; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got %v", err)
+	}
+	release.Done()
+	if err := <-survivor; err != nil {
+		t.Fatalf("surviving waiter got %v, want 31", err)
+	}
+}
+
+func TestBoundEvictsLRU(t *testing.T) {
+	var c Cache[int, int]
+	c.Bound(3)
+	for k := 0; k < 3; k++ {
+		if _, err := c.Get(k, func() (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 is now least recently used.
+	if _, err := c.Get(0, func() (int, error) { return -1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(3, func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Cached(1); ok {
+		t.Fatal("LRU key 1 still cached after eviction")
+	}
+	for _, k := range []int{0, 2, 3} {
+		if _, ok := c.Cached(k); !ok {
+			t.Fatalf("key %d evicted, want it kept", k)
+		}
+	}
+	// An evicted key recomputes on demand.
+	recomputed := false
+	if _, err := c.Get(1, func() (int, error) { recomputed = true; return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("evicted key served from cache")
+	}
+}
+
+func TestBoundShrinksExisting(t *testing.T) {
+	var c Cache[int, int]
+	c.Bound(100)
+	for k := 0; k < 10; k++ {
+		c.Put(k, k)
+	}
+	c.Bound(4)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d after shrink, want 4", c.Len())
+	}
+}
+
+func TestPutReplaceKeepsSingleLRUEntry(t *testing.T) {
+	var c Cache[string, int]
+	c.Bound(2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	c.Put("b", 3)
+	if v, ok := c.Cached("a"); !ok || v != 2 {
+		t.Fatalf("a = %d, %t; want 2", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
 	}
 }

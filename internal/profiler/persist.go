@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"smtflex/internal/config"
@@ -50,6 +52,47 @@ func (s *Source) SaveJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(file)
+}
+
+// SaveJSONFile writes the profiles to path crash-safely: the data goes to a
+// temporary file in the same directory, is fsynced, and then atomically
+// renamed over the destination. A crash mid-write leaves the previous file
+// intact rather than a truncated JSON document.
+func (s *Source) SaveJSONFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("profiler: saving profiles: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = s.SaveJSON(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("profiler: saving profiles: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("profiler: saving profiles: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("profiler: saving profiles: %w", err)
+	}
+	return nil
+}
+
+// LoadJSONFile loads profiles from path; see LoadJSON.
+func (s *Source) LoadJSONFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("profiler: loading profiles: %w", err)
+	}
+	defer f.Close()
+	return s.LoadJSON(f)
 }
 
 // LoadJSON populates the cache with previously saved profiles; subsequent

@@ -2,6 +2,8 @@ package profiler
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -34,6 +36,44 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 	gotSmall := fresh.Profile(spec(t, "mcf"), config.Small)
 	if !reflect.DeepEqual(*gotSmall, *origSmall) {
 		t.Fatal("mcf profile did not survive the roundtrip")
+	}
+}
+
+func TestSaveJSONFileAtomic(t *testing.T) {
+	src := source()
+	orig := src.Profile(spec(t, "tonto"), config.Big)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.json")
+	// Pre-existing good content must survive a failed save attempt: saving
+	// into an unwritable directory must not touch the destination.
+	if err := src.SaveJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveJSONFile(filepath.Join(dir, "nosuchdir", "p.json")); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+
+	// No temp files may be left behind, whether the save succeeded or failed.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "profiles.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after saves: %v", names)
+	}
+
+	fresh := NewSource(1)
+	if _, err := fresh.LoadJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.Profile(spec(t, "tonto"), config.Big)
+	if !reflect.DeepEqual(*got, *orig) {
+		t.Fatal("profile did not survive the file roundtrip")
 	}
 }
 

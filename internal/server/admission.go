@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// errQueueFull is returned by acquire when the admission queue is at
+// capacity; the handler maps it to 503 + Retry-After so overload is shed at
+// the door instead of queuing unboundedly.
+var errQueueFull = errors.New("server: admission queue full")
+
+// admission is the server's backpressure valve: at most maxConcurrent
+// requests execute at once, at most queueDepth more wait for a slot, and
+// everything beyond that is rejected immediately. A waiting request that
+// gives up (client disconnect, deadline) leaves the queue without ever
+// holding a slot.
+type admission struct {
+	// slots holds one token per executing request.
+	slots chan struct{}
+	// queue holds one token per admitted request, executing or waiting;
+	// its capacity is maxConcurrent+queueDepth, so len(queue)-len(slots)
+	// is the number waiting.
+	queue chan struct{}
+}
+
+func newAdmission(maxConcurrent, queueDepth int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxConcurrent+queueDepth),
+	}
+}
+
+// acquire admits the request or fails fast. It returns errQueueFull when
+// the queue is at capacity and ctx.Err() when the caller gave up while
+// waiting for a slot. On nil error the caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errQueueFull
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-a.queue
+		return ctx.Err()
+	}
+}
+
+// release frees the slot and leaves the queue.
+func (a *admission) release() {
+	<-a.slots
+	<-a.queue
+}
+
+// waiting is the number of admitted requests not yet executing.
+func (a *admission) waiting() int { return len(a.queue) - len(a.slots) }
+
+// executing is the number of requests holding slots.
+func (a *admission) executing() int { return len(a.slots) }

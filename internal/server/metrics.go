@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is the server's observability state, exposed at /metrics in the
+// Prometheus text format (hand-rolled — the repo takes no dependencies).
+// Request counters and latency histograms are per route; gauges for queue
+// depth and cache state are sampled at scrape time by the server.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[routeCode]int64
+	hist     map[string]*histogram
+	rejected int64
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+// latencyBuckets are the histogram upper bounds in seconds. Sweeps span
+// milliseconds (cache hit) to minutes (cold campaign), so the buckets
+// stretch wide.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts []int64 // len(latencyBuckets)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeCode]int64),
+		hist:     make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	h := m.hist[route]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+		m.hist[route] = h
+	}
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	h.counts[i]++
+	h.sum += secs
+	h.n++
+}
+
+// reject records one request shed by admission control.
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// gauge is one point-in-time value sampled at scrape.
+type gauge struct {
+	name   string
+	labels string // rendered label set, may be empty
+	value  float64
+}
+
+// write renders every metric in deterministic order.
+func (m *metrics) write(w io.Writer, gauges []gauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	keys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP smtflexd_requests_total Requests served, by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE smtflexd_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "smtflexd_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP smtflexd_rejected_total Requests shed by admission control (queue full).\n")
+	fmt.Fprintf(w, "# TYPE smtflexd_rejected_total counter\n")
+	fmt.Fprintf(w, "smtflexd_rejected_total %d\n", m.rejected)
+
+	routes := make([]string, 0, len(m.hist))
+	for r := range m.hist {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(w, "# HELP smtflexd_request_duration_seconds Request latency.\n")
+	fmt.Fprintf(w, "# TYPE smtflexd_request_duration_seconds histogram\n")
+	for _, r := range routes {
+		h := m.hist[r]
+		cum := int64(0)
+		for i, bound := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "smtflexd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, bound, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "smtflexd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(w, "smtflexd_request_duration_seconds_sum{route=%q} %g\n", r, h.sum)
+		fmt.Fprintf(w, "smtflexd_request_duration_seconds_count{route=%q} %d\n", r, h.n)
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "%s%s %g\n", g.name, g.labels, g.value)
+	}
+}

@@ -1,0 +1,436 @@
+// Package server exposes the experiment engine as a long-running HTTP/JSON
+// service (the smtflexd daemon): design-sweep evaluation, single-placement
+// scheduling queries, figure tables and job-stream simulation, served to
+// many concurrent clients from one shared engine.
+//
+// The service is production-shaped rather than a thin mux:
+//
+//   - Admission control: at most MaxConcurrent requests execute at once and
+//     at most QueueDepth more wait; everything beyond is shed immediately
+//     with 503 + Retry-After instead of queuing unboundedly.
+//   - Deadlines and cancellation: every request runs under a context with a
+//     deadline (default or ?timeout_ms=), and the context is threaded
+//     through the experiment engine's worker pool — an abandoned request
+//     stops burning workers mid-sweep.
+//   - Coalescing: identical in-flight sweeps collapse onto one computation
+//     in the engine's singleflight cache; the shared work is cancelled only
+//     when every interested request has gone.
+//   - Observability: /healthz, /metrics (request counts, latency
+//     histograms, queue depth, engine cache sizes and hit rates) and
+//     structured request logging.
+//
+// Graceful shutdown is the standard net/http contract: run the Handler
+// under an http.Server and call its Shutdown, which stops accepting new
+// connections and drains in-flight requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"smtflex/internal/config"
+	"smtflex/internal/core"
+	"smtflex/internal/sched"
+	"smtflex/internal/study"
+	"smtflex/internal/timeline"
+	"smtflex/internal/workload"
+)
+
+// Config parameterizes a Server. The zero value of every optional field
+// gets a sensible default; Sim is required.
+type Config struct {
+	// Sim is the shared engine every request is served from.
+	Sim *core.Simulator
+	// MaxConcurrent bounds simultaneously executing requests
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot (default 64;
+	// negative means no waiting room — reject whenever all slots are busy).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the client sets none
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 10m).
+	MaxTimeout time.Duration
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// Server handles the smtflexd API. Create with New; serve via Handler.
+type Server struct {
+	sim            *core.Simulator
+	adm            *admission
+	met            *metrics
+	log            *slog.Logger
+	mux            *http.ServeMux
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	figures        map[string]bool
+}
+
+// New builds a Server around the given engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Sim == nil {
+		return nil, errors.New("server: Config.Sim is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	} else if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		sim:            cfg.Sim,
+		adm:            newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		met:            newMetrics(),
+		log:            cfg.Logger,
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     cfg.MaxTimeout,
+		figures:        make(map[string]bool),
+	}
+	for _, id := range core.FigureIDs() {
+		s.figures[id] = true
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("POST /v1/sweep", s.endpoint("/v1/sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/place", s.endpoint("/v1/place", s.handlePlace))
+	s.mux.Handle("GET /v1/figures/{id}", s.endpoint("/v1/figures", s.handleFigure))
+	s.mux.Handle("POST /v1/jobsim", s.endpoint("/v1/jobsim", s.handleJobsim))
+	return s, nil
+}
+
+// Handler returns the root handler, ready for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) study() *study.Study { return s.sim.Study() }
+
+// --- request plumbing ---
+
+// httpError carries a status code chosen by a handler.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// statusClientClosed is nginx's conventional code for "client closed the
+// request"; the response never reaches anyone, but the metrics and logs do.
+const statusClientClosed = 499
+
+// statusOf maps a handler error to an HTTP status.
+func statusOf(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handlerFunc computes a JSON-marshalable response under ctx.
+type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
+
+// endpoint wraps a handler with admission control, the per-request
+// deadline, metrics and logging — the shared spine of every engine-backed
+// route.
+func (s *Server) endpoint(route string, fn handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		timeout, err := s.requestTimeout(r)
+		if err != nil {
+			s.finish(w, r, route, start, 0, nil, err)
+			return
+		}
+		if err := s.adm.acquire(r.Context()); err != nil {
+			if errors.Is(err, errQueueFull) {
+				s.met.reject()
+				w.Header().Set("Retry-After", "1")
+				err = &httpError{http.StatusServiceUnavailable, "admission queue full, retry later"}
+			}
+			s.finish(w, r, route, start, 0, nil, err)
+			return
+		}
+		defer s.adm.release()
+		wait := time.Since(start)
+
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		res, err := fn(ctx, r)
+		s.finish(w, r, route, start, wait, res, err)
+	})
+}
+
+// requestTimeout resolves the request deadline: ?timeout_ms= if given
+// (capped at MaxTimeout), else the default.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return s.defaultTimeout, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, badRequest("invalid timeout_ms %q", raw)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.maxTimeout {
+		d = s.maxTimeout
+	}
+	return d, nil
+}
+
+// finish writes the response (or error), and records metrics and the
+// request log line.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, route string, start time.Time, wait time.Duration, res any, err error) {
+	code := http.StatusOK
+	if err != nil {
+		code = statusOf(err)
+		writeJSON(w, code, ErrorResponse{Error: err.Error()})
+	} else {
+		writeJSON(w, code, res)
+	}
+	dur := time.Since(start)
+	s.met.observe(route, code, dur)
+	attrs := []any{
+		"method", r.Method, "route", route, "path", r.URL.Path,
+		"code", code, "dur_ms", dur.Milliseconds(), "wait_ms", wait.Milliseconds(),
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err.Error())
+		s.log.Warn("request", attrs...)
+	} else {
+		s.log.Info("request", attrs...)
+	}
+}
+
+// writeJSON renders v with the given status. 499s get no body write beyond
+// headers in practice (the client is gone), but writing is harmless.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// decodeJSON parses a request body strictly: unknown fields are rejected so
+// typos fail loudly, and bodies are capped at 1 MiB.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// smtOf defaults an absent smt field to true, the paper's headline setup.
+func smtOf(p *bool) bool { return p == nil || *p }
+
+func parseKind(raw string) (study.Kind, error) {
+	switch raw {
+	case "", "homogeneous":
+		return study.Homogeneous, nil
+	case "heterogeneous":
+		return study.Heterogeneous, nil
+	default:
+		return 0, badRequest("unknown kind %q (want homogeneous or heterogeneous)", raw)
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := s.study().CacheStats()
+	gauges := []gauge{
+		{"smtflexd_queue_waiting", "", float64(s.adm.waiting())},
+		{"smtflexd_inflight", "", float64(s.adm.executing())},
+		{"smtflexd_engine_evaluations_total", "", float64(s.study().Evaluations())},
+		{"smtflexd_cache_entries", `{cache="solo"}`, float64(cs.SoloEntries)},
+		{"smtflexd_cache_entries", `{cache="sweeps"}`, float64(cs.SweepEntries)},
+		{"smtflexd_cache_hits_total", `{cache="solo"}`, float64(cs.SoloHits)},
+		{"smtflexd_cache_misses_total", `{cache="solo"}`, float64(cs.SoloMisses)},
+		{"smtflexd_cache_hits_total", `{cache="sweeps"}`, float64(cs.SweepHits)},
+		{"smtflexd_cache_misses_total", `{cache="sweeps"}`, float64(cs.SweepMisses)},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, gauges)
+}
+
+func (s *Server) handleSweep(ctx context.Context, r *http.Request) (any, error) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Design == "" {
+		return nil, badRequest("missing design")
+	}
+	kind, err := parseKind(req.Kind)
+	if err != nil {
+		return nil, err
+	}
+	d, err := config.DesignByName(req.Design, smtOf(req.SMT))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if req.BandwidthGBps > 0 {
+		d = d.WithBandwidth(req.BandwidthGBps)
+	}
+	sw, err := s.study().SweepDesign(ctx, d, kind)
+	if err != nil {
+		return nil, err
+	}
+	resp := SweepResponse{
+		Design:   d.Name,
+		Kind:     kind.String(),
+		STP:      append([]float64(nil), sw.STP[:]...),
+		ANTT:     append([]float64(nil), sw.ANTT[:]...),
+		Watts:    append([]float64(nil), sw.Watts[:]...),
+		MixNames: append([]string(nil), sw.MixNames...),
+		ByMix:    make([][]float64, len(sw.ByMix)),
+	}
+	for i := range sw.ByMix {
+		resp.ByMix[i] = append([]float64(nil), sw.ByMix[i][:]...)
+	}
+	return resp, nil
+}
+
+func (s *Server) handlePlace(ctx context.Context, r *http.Request) (any, error) {
+	var req PlaceRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Design == "" {
+		return nil, badRequest("missing design")
+	}
+	if len(req.Programs) == 0 || len(req.Programs) > study.MaxThreads {
+		return nil, badRequest("programs must list 1..%d benchmarks, got %d", study.MaxThreads, len(req.Programs))
+	}
+	for _, p := range req.Programs {
+		if _, err := workload.ByName(p); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	d, err := config.DesignByName(req.Design, smtOf(req.SMT))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mix := workload.Mix{ID: "api", Programs: req.Programs}
+	placement, err := sched.Place(d, mix, s.sim.Source())
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.study().EvaluateMix(d, mix)
+	if err != nil {
+		return nil, err
+	}
+	return PlaceResponse{
+		Design:         d.Name,
+		CoreOf:         append([]int(nil), placement.CoreOf...),
+		STP:            res.STP,
+		ANTT:           res.ANTT,
+		Watts:          res.Watts,
+		WattsUngated:   res.WattsUngated,
+		BusUtilization: res.BusUtilization,
+	}, nil
+}
+
+func (s *Server) handleFigure(ctx context.Context, r *http.Request) (any, error) {
+	id := r.PathValue("id")
+	if !s.figures[id] {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown figure %q", id)}
+	}
+	tab, err := s.sim.Figure(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return TableResponse{Title: tab.Title, Rows: tab.Rows, Cols: tab.Cols, Cells: tab.Cells}, nil
+}
+
+// defaultJobsimDesigns mirrors the jobsim CLI's default design list.
+var defaultJobsimDesigns = []string{"4B", "8m", "20s", "3B5s", "1B6m"}
+
+func (s *Server) handleJobsim(ctx context.Context, r *http.Request) (any, error) {
+	var req JobsimRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Designs) == 0 {
+		req.Designs = defaultJobsimDesigns
+	}
+	if req.Jobs == 0 {
+		req.Jobs = 40
+	}
+	if req.Jobs < 1 || req.Jobs > 100_000 {
+		return nil, badRequest("jobs must be 1..100000, got %d", req.Jobs)
+	}
+	if req.InterarrivalNs == 0 {
+		req.InterarrivalNs = 1.5e6
+	}
+	if req.WorkUops == 0 {
+		req.WorkUops = 2e7
+	}
+	if req.InterarrivalNs < 0 || req.WorkUops <= 0 {
+		return nil, badRequest("interarrival_ns and work_uops must be positive")
+	}
+	if req.Seed == 0 {
+		req.Seed = 2014
+	}
+	jobs := timeline.PoissonWorkload(req.Jobs, req.InterarrivalNs, req.WorkUops, req.Seed)
+	runs, err := s.sim.JobStream(ctx, req.Designs, smtOf(req.SMT), jobs)
+	if err != nil {
+		var he *httpError
+		if !errors.As(err, &he) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			// Unknown design names are client errors.
+			return nil, badRequest("%v", err)
+		}
+		return nil, err
+	}
+	resp := JobsimResponse{Runs: make([]JobsimRun, len(runs))}
+	for i, run := range runs {
+		resp.Runs[i] = JobsimRun{
+			Design:           run.Design,
+			MakespanNs:       run.Result.MakespanNs,
+			MeanTurnaroundNs: run.Result.MeanTurnaroundNs,
+			MeanActive:       run.Result.MeanActive,
+			EnergyJoules:     run.Result.EnergyJoules,
+		}
+	}
+	return resp, nil
+}

@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+
 	"fmt"
 
 	"smtflex/internal/config"
@@ -33,10 +35,10 @@ func (s *Study) withModel(m contention.Model) *Study {
 }
 
 // fig8Row computes the uniform-average STP of one design for both kinds.
-func (s *Study) fig8Row(d config.Design) (homog, heterog float64, err error) {
+func (s *Study) fig8Row(ctx context.Context, d config.Design) (homog, heterog float64, err error) {
 	u := dist.Uniform()
 	for i, k := range []Kind{Homogeneous, Heterogeneous} {
-		sw, err := s.SweepDesign(d, k)
+		sw, err := s.SweepDesign(ctx, d, k)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -56,7 +58,7 @@ func (s *Study) fig8Row(d config.Design) (homog, heterog float64, err error) {
 // AblationSMTEfficiency sweeps the SMT issue-efficiency constant and
 // reports the uniform-average STP of 4B and of the best heterogeneous
 // design at each value: rows = efficiency settings.
-func (s *Study) AblationSMTEfficiency() (*Table, error) {
+func (s *Study) AblationSMTEfficiency(ctx context.Context) (*Table, error) {
 	effs := []float64{0.80, 0.90, 0.97, 1.00}
 	rows := make([]string, len(effs))
 	for i, e := range effs {
@@ -70,7 +72,7 @@ func (s *Study) AblationSMTEfficiency() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		h, het, err := alt.fig8Row(fourB)
+		h, het, err := alt.fig8Row(ctx, fourB)
 		if err != nil {
 			return nil, err
 		}
@@ -84,8 +86,8 @@ func (s *Study) AblationSMTEfficiency() (*Table, error) {
 			hetero = append(hetero, d)
 		}
 		vals := make([]float64, len(hetero))
-		err = runIndexed(alt.workers(), len(hetero), func(i int) error {
-			_, v, err := alt.fig8Row(hetero[i])
+		err = runIndexed(ctx, alt.workers(), len(hetero), func(i int) error {
+			_, v, err := alt.fig8Row(ctx, hetero[i])
 			vals[i] = v
 			return err
 		})
@@ -104,19 +106,19 @@ func (s *Study) AblationSMTEfficiency() (*Table, error) {
 }
 
 // ablationFig8 recomputes Figure 8 under an alternative model.
-func (s *Study) ablationFig8(title string, m contention.Model) (*Table, error) {
+func (s *Study) ablationFig8(ctx context.Context, title string, m contention.Model) (*Table, error) {
 	alt := s.withModel(m)
-	return alt.uniformAverages(title, config.NineDesigns(true))
+	return alt.uniformAverages(ctx, title, config.NineDesigns(true))
 }
 
 // AblationLLCPolicy compares allocation-weighted LLC partitioning against
 // an equal split.
-func (s *Study) AblationLLCPolicy() (*Table, error) {
-	weighted, err := s.Figure8()
+func (s *Study) AblationLLCPolicy(ctx context.Context) (*Table, error) {
+	weighted, err := s.Figure8(ctx)
 	if err != nil {
 		return nil, err
 	}
-	equal, err := s.ablationFig8("equal", contention.Model{EqualLLCShares: true})
+	equal, err := s.ablationFig8(ctx, "equal", contention.Model{EqualLLCShares: true})
 	if err != nil {
 		return nil, err
 	}
@@ -134,12 +136,12 @@ func (s *Study) AblationLLCPolicy() (*Table, error) {
 // AblationQueueing compares the M/D/1 bus/bank queueing model against a
 // fixed (uncontended) memory latency; without queueing the bandwidth-bound
 // flattening of Figure 4(b) disappears and every design speeds up.
-func (s *Study) AblationQueueing() (*Table, error) {
-	queued, err := s.Figure8()
+func (s *Study) AblationQueueing(ctx context.Context) (*Table, error) {
+	queued, err := s.Figure8(ctx)
 	if err != nil {
 		return nil, err
 	}
-	fixed, err := s.ablationFig8("fixed", contention.Model{FixedMemLatency: true})
+	fixed, err := s.ablationFig8(ctx, "fixed", contention.Model{FixedMemLatency: true})
 	if err != nil {
 		return nil, err
 	}
@@ -157,14 +159,14 @@ func (s *Study) AblationQueueing() (*Table, error) {
 // AblationWindowVisible compares the window-dependent visible-latency
 // fraction against a flat fraction: with a flat fraction, deep SMT no
 // longer exposes additional memory latency, inflating 4B at high counts.
-func (s *Study) AblationWindowVisible() (*Table, error) {
+func (s *Study) AblationWindowVisible(ctx context.Context) (*Table, error) {
 	fourB, err := config.DesignByName("4B", true)
 	if err != nil {
 		return nil, err
 	}
 	t := NewTable("Ablation: window-dependent visible latency (4B homogeneous STP by thread count)",
 		[]string{"window_dependent", "flat"}, threadCols())
-	sw, err := s.SweepDesign(fourB, Homogeneous)
+	sw, err := s.SweepDesign(ctx, fourB, Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +174,7 @@ func (s *Study) AblationWindowVisible() (*Table, error) {
 		t.Set(0, n-1, sw.STP[n-1])
 	}
 	alt := s.withModel(contention.Model{FlatVisible: true})
-	swf, err := alt.SweepDesign(fourB, Homogeneous)
+	swf, err := alt.SweepDesign(ctx, fourB, Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +189,7 @@ func (s *Study) AblationWindowVisible() (*Table, error) {
 // analysis): rows = (design, thread count), cols = {greedy, refined,
 // improvement %}. Small improvements mean the cheap heuristic used by all
 // sweeps is close to the offline optimum.
-func (s *Study) AblationScheduler() (*Table, error) {
+func (s *Study) AblationScheduler(ctx context.Context) (*Table, error) {
 	designs := []string{"4B", "3B5s"}
 	counts := []int{8, 16, 24}
 	var rows []string

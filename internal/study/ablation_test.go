@@ -1,10 +1,12 @@
 package study
 
+import "context"
+
 import "testing"
 
 func TestAblationSMTEfficiency(t *testing.T) {
 	s := sharedStudy()
-	tab, err := s.AblationSMTEfficiency()
+	tab, err := s.AblationSMTEfficiency(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +30,7 @@ func TestAblationSMTEfficiency(t *testing.T) {
 
 func TestAblationLLCPolicy(t *testing.T) {
 	s := sharedStudy()
-	tab, err := s.AblationLLCPolicy()
+	tab, err := s.AblationLLCPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestAblationLLCPolicy(t *testing.T) {
 
 func TestAblationQueueing(t *testing.T) {
 	s := sharedStudy()
-	tab, err := s.AblationQueueing()
+	tab, err := s.AblationQueueing(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func TestAblationQueueing(t *testing.T) {
 
 func TestAblationWindowVisible(t *testing.T) {
 	s := sharedStudy()
-	tab, err := s.AblationWindowVisible()
+	tab, err := s.AblationWindowVisible(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestAblationWindowVisible(t *testing.T) {
 
 func TestAblationScheduler(t *testing.T) {
 	s := sharedStudy()
-	tab, err := s.AblationScheduler()
+	tab, err := s.AblationScheduler(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

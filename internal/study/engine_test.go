@@ -1,9 +1,11 @@
 package study
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"smtflex/internal/config"
@@ -31,11 +33,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	swSerial, err := serial.SweepDesign(d, Heterogeneous)
+	swSerial, err := serial.SweepDesign(context.Background(), d, Heterogeneous)
 	if err != nil {
 		t.Fatal(err)
 	}
-	swParallel, err := parallel.SweepDesign(d, Heterogeneous)
+	swParallel, err := parallel.SweepDesign(context.Background(), d, Heterogeneous)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +45,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Fatal("parallel sweep differs from serial sweep")
 	}
 
-	figSerial, err := serial.Figure8()
+	figSerial, err := serial.Figure8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	figParallel, err := parallel.Figure8()
+	figParallel, err := parallel.Figure8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestSweepConcurrentMissesComputeOnce(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			sw, err := s.SweepDesign(d, Homogeneous)
+			sw, err := s.SweepDesign(context.Background(), d, Homogeneous)
 			if err != nil {
 				t.Error(err)
 			}
@@ -162,7 +164,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		const n = 100
 		seen := make([]int32, n)
-		err := runIndexed(workers, n, func(i int) error {
+		err := runIndexed(context.Background(), workers, n, func(i int) error {
 			seen[i]++
 			return nil
 		})
@@ -178,7 +180,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 }
 
 func TestRunIndexedZeroTasks(t *testing.T) {
-	if err := runIndexed(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+	if err := runIndexed(context.Background(), 4, 0, func(int) error { return errors.New("must not run") }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -186,7 +188,7 @@ func TestRunIndexedZeroTasks(t *testing.T) {
 func TestRunIndexedPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		err := runIndexed(workers, 50, func(i int) error {
+		err := runIndexed(context.Background(), workers, 50, func(i int) error {
 			if i == 17 {
 				return boom
 			}
@@ -202,7 +204,7 @@ func TestRunIndexedStopsAfterError(t *testing.T) {
 	// After a failure the pool must stop handing out new indices; with the
 	// serial fallback nothing past the failing index runs at all.
 	ran := 0
-	err := runIndexed(1, 100, func(i int) error {
+	err := runIndexed(context.Background(), 1, 100, func(i int) error {
 		ran++
 		if i == 3 {
 			return errors.New("stop")
@@ -222,5 +224,62 @@ func TestWorkersDefault(t *testing.T) {
 	s.Parallelism = 3
 	if s.workers() != 3 {
 		t.Fatalf("explicit workers = %d, want 3", s.workers())
+	}
+}
+
+// --- context cancellation tests ---
+
+func TestRunIndexedHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := 0
+		err := runIndexed(ctx, workers, 50, func(i int) error { ran++; return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if ran != 0 {
+			t.Fatalf("workers=%d: %d tasks ran under a cancelled context", workers, ran)
+		}
+	}
+}
+
+func TestRunIndexedStopsMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := runIndexed(ctx, 2, 1000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d tasks ran despite mid-run cancellation", n)
+	}
+}
+
+// TestSweepDesignCancellation: a cancelled sweep stops the engine, returns
+// the context error, and leaves the cache unpoisoned so a retry recomputes.
+func TestSweepDesignCancellation(t *testing.T) {
+	s := newEngineStudy(2)
+	d, err := config.DesignByName("20s", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SweepDesign(ctx, d, Heterogeneous); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	// A live context recomputes from scratch — the aborted run is not cached.
+	sw, err := s.SweepDesign(context.Background(), d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.STP[0] <= 0 {
+		t.Fatal("retried sweep has empty results")
 	}
 }

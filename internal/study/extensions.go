@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+
 	"math"
 
 	"smtflex/internal/config"
@@ -19,7 +21,7 @@ import (
 // workloads), showing that boost recovers single-thread performance the
 // same way heterogeneity's big cores would — one more flexibility
 // mechanism stacked on SMT.
-func (s *Study) ExtensionTurboBoost() (*Table, error) {
+func (s *Study) ExtensionTurboBoost(ctx context.Context) (*Table, error) {
 	t := NewTable("Extension: frequency boost under the power envelope (4B, homogeneous STP)",
 		[]string{"4B", "4B_boost", "boost_factor"}, threadCols())
 
@@ -27,7 +29,7 @@ func (s *Study) ExtensionTurboBoost() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := s.SweepDesign(base, Homogeneous)
+	sw, err := s.SweepDesign(ctx, base, Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +55,7 @@ func (s *Study) ExtensionTurboBoost() (*Table, error) {
 
 		mixes := s.mixesAt(Homogeneous, n)
 		stps := make([]float64, len(mixes))
-		err := runIndexed(s.workers(), len(mixes), func(mi int) error {
+		err := runIndexed(ctx, s.workers(), len(mixes), func(mi int) error {
 			r, err := s.EvaluateMix(boosted, mixes[mi])
 			stps[mi] = r.STP
 			return err
@@ -95,7 +97,7 @@ func boostFactor(activeCores int, envelopeWatts float64) float64 {
 // at the rate the thread achieves *with* all SMT co-runners resident
 // (no throttling): rows = apps, cols = {throttled, unthrottled} whole-program
 // speedups on 4B SMT with 24 threads.
-func (s *Study) ExtensionSerialBoost() (*Table, error) {
+func (s *Study) ExtensionSerialBoost(ctx context.Context) (*Table, error) {
 	// The unthrottled serial rate: solve the full 24-thread placement and
 	// use one thread's rate as the serial-section rate.
 	d, err := config.DesignByName("4B", true)

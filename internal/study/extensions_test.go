@@ -1,10 +1,12 @@
 package study
 
+import "context"
+
 import "testing"
 
 func TestExtensionTurboBoost(t *testing.T) {
 	s := sharedStudy()
-	tab, err := s.ExtensionTurboBoost()
+	tab, err := s.ExtensionTurboBoost(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +32,7 @@ func TestExtensionTurboBoost(t *testing.T) {
 
 func TestExtensionSerialBoost(t *testing.T) {
 	s := sharedStudy()
-	tab, err := s.ExtensionSerialBoost()
+	tab, err := s.ExtensionSerialBoost(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+
 	"fmt"
 
 	"smtflex/internal/config"
@@ -29,10 +31,10 @@ func designNames() []string {
 
 // sweepAll evaluates independent designs on the worker pool and returns
 // their sweeps in input order.
-func (s *Study) sweepAll(designs []config.Design, k Kind) ([]*Sweep, error) {
+func (s *Study) sweepAll(ctx context.Context, designs []config.Design, k Kind) ([]*Sweep, error) {
 	sweeps := make([]*Sweep, len(designs))
-	err := runIndexed(s.workers(), len(designs), func(i int) error {
-		sw, err := s.SweepDesign(designs[i], k)
+	err := runIndexed(ctx, s.workers(), len(designs), func(i int) error {
+		sw, err := s.SweepDesign(ctx, designs[i], k)
 		sweeps[i] = sw
 		return err
 	})
@@ -83,7 +85,7 @@ func Figure2() *Table {
 // Figure1 returns the distribution of active thread counts for each
 // multi-threaded application running 20 threads on a twenty-core processor,
 // bucketed as in the paper's legend.
-func (s *Study) Figure1() (*Table, error) {
+func (s *Study) Figure1(ctx context.Context) (*Table, error) {
 	buckets := []string{"1", "2", "3", "4", "5", "6-10", "11-15", "16-19", "20"}
 	apps := parallel.AppNames()
 	t := NewTable("Figure 1: distribution of active thread counts (PARSEC-like, 20 threads on 20 cores)", apps, buckets)
@@ -92,7 +94,7 @@ func (s *Study) Figure1() (*Table, error) {
 		return nil, err
 	}
 	resByApp := make([]parallel.Result, len(apps))
-	err = runIndexed(s.workers(), len(apps), func(r int) error {
+	err = runIndexed(ctx, s.workers(), len(apps), func(r int) error {
 		app, err := parallel.AppByName(apps[r])
 		if err != nil {
 			return err
@@ -129,10 +131,10 @@ func (s *Study) Figure1() (*Table, error) {
 // Figure3 returns average STP versus thread count for the nine designs with
 // SMT enabled, for the given workload kind ((a) homogeneous,
 // (b) heterogeneous).
-func (s *Study) Figure3(k Kind) (*Table, error) {
+func (s *Study) Figure3(ctx context.Context, k Kind) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 3%s: STP vs thread count, SMT, %s workloads", sub(k), k),
 		designNames(), threadCols())
-	sweeps, err := s.sweepAll(config.NineDesigns(true), k)
+	sweeps, err := s.sweepAll(ctx, config.NineDesigns(true), k)
 	if err != nil {
 		return nil, err
 	}
@@ -153,10 +155,10 @@ func sub(k Kind) string {
 
 // Figure4 returns per-benchmark STP versus thread count for the named
 // benchmark's homogeneous workload (the paper shows tonto and libquantum).
-func (s *Study) Figure4(bench string) (*Table, error) {
+func (s *Study) Figure4(ctx context.Context, bench string) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 4: STP vs thread count, homogeneous %s workload", bench),
 		designNames(), threadCols())
-	sweeps, err := s.sweepAll(config.NineDesigns(true), Homogeneous)
+	sweeps, err := s.sweepAll(ctx, config.NineDesigns(true), Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -180,10 +182,10 @@ func (s *Study) Figure4(bench string) (*Table, error) {
 
 // Figure5 returns average ANTT versus thread count for the nine SMT designs
 // with homogeneous workloads.
-func (s *Study) Figure5() (*Table, error) {
+func (s *Study) Figure5(ctx context.Context) (*Table, error) {
 	t := NewTable("Figure 5: ANTT vs thread count, SMT, homogeneous workloads",
 		designNames(), threadCols())
-	sweeps, err := s.sweepAll(config.NineDesigns(true), Homogeneous)
+	sweeps, err := s.sweepAll(ctx, config.NineDesigns(true), Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +199,7 @@ func (s *Study) Figure5() (*Table, error) {
 
 // uniformAverages fills a designs × {homogeneous,heterogeneous} table of
 // uniform-distribution average STP for the given design list.
-func (s *Study) uniformAverages(title string, designs []config.Design) (*Table, error) {
+func (s *Study) uniformAverages(ctx context.Context, title string, designs []config.Design) (*Table, error) {
 	names := make([]string, len(designs))
 	for i, d := range designs {
 		names[i] = d.Name
@@ -206,9 +208,9 @@ func (s *Study) uniformAverages(title string, designs []config.Design) (*Table, 
 	u := dist.Uniform()
 	kinds := []Kind{Homogeneous, Heterogeneous}
 	vals := make([]float64, len(designs)*len(kinds))
-	err := runIndexed(s.workers(), len(vals), func(i int) error {
+	err := runIndexed(ctx, s.workers(), len(vals), func(i int) error {
 		d, k := designs[i/len(kinds)], kinds[i%len(kinds)]
-		sw, err := s.SweepDesign(d, k)
+		sw, err := s.SweepDesign(ctx, d, k)
 		if err != nil {
 			return err
 		}
@@ -228,31 +230,31 @@ func (s *Study) uniformAverages(title string, designs []config.Design) (*Table, 
 
 // Figure6 returns uniform-distribution average STP with SMT disabled
 // everywhere (threads beyond core count time-share).
-func (s *Study) Figure6() (*Table, error) {
-	return s.uniformAverages("Figure 6: average STP, uniform thread-count distribution, no SMT",
+func (s *Study) Figure6(ctx context.Context) (*Table, error) {
+	return s.uniformAverages(ctx, "Figure 6: average STP, uniform thread-count distribution, no SMT",
 		config.NineDesigns(false))
 }
 
 // Figure7 returns uniform-distribution average STP with SMT only in the
 // homogeneous designs (4B, 8m, 20s).
-func (s *Study) Figure7() (*Table, error) {
-	return s.uniformAverages("Figure 7: average STP, uniform distribution, SMT in homogeneous designs only",
+func (s *Study) Figure7(ctx context.Context) (*Table, error) {
+	return s.uniformAverages(ctx, "Figure 7: average STP, uniform distribution, SMT in homogeneous designs only",
 		config.HomogeneousOnlySMT())
 }
 
 // Figure8 returns uniform-distribution average STP with SMT in all designs.
-func (s *Study) Figure8() (*Table, error) {
-	return s.uniformAverages("Figure 8: average STP, uniform distribution, SMT in all designs",
+func (s *Study) Figure8(ctx context.Context) (*Table, error) {
+	return s.uniformAverages(ctx, "Figure 8: average STP, uniform distribution, SMT in all designs",
 		config.NineDesigns(true))
 }
 
 // Figure9 returns per-benchmark uniform-distribution average STP
 // (homogeneous workloads, SMT everywhere): benchmarks × designs.
-func (s *Study) Figure9() (*Table, error) {
+func (s *Study) Figure9(ctx context.Context) (*Table, error) {
 	designs := config.NineDesigns(true)
 	var t *Table
 	u := dist.Uniform()
-	sweeps, err := s.sweepAll(designs, Homogeneous)
+	sweeps, err := s.sweepAll(ctx, designs, Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +281,7 @@ func (s *Study) Figure9() (*Table, error) {
 // Figure10 returns average STP under the datacenter and mirrored-datacenter
 // distributions for heterogeneous workloads, with and without SMT:
 // designs × {datacenter/noSMT, datacenter/SMT, mirrored/noSMT, mirrored/SMT}.
-func (s *Study) Figure10() (*Table, error) {
+func (s *Study) Figure10(ctx context.Context) (*Table, error) {
 	t := NewTable("Figure 10b: average STP under datacenter distributions, heterogeneous workloads",
 		designNames(), []string{"dc_noSMT", "dc_SMT", "mirror_noSMT", "mirror_SMT"})
 	for c, setup := range []struct {
@@ -291,7 +293,7 @@ func (s *Study) Figure10() (*Table, error) {
 		{dist.MirroredDatacenter(), false},
 		{dist.MirroredDatacenter(), true},
 	} {
-		sweeps, err := s.sweepAll(config.NineDesigns(setup.smt), Heterogeneous)
+		sweeps, err := s.sweepAll(ctx, config.NineDesigns(setup.smt), Heterogeneous)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +322,7 @@ func Figure10a() *Table {
 // Figure13 compares the 4B SMT design against the ideal dynamic multi-core
 // (best of the nine designs at every thread count and workload), with and
 // without SMT: rows × thread counts.
-func (s *Study) Figure13(k Kind) (*Table, error) {
+func (s *Study) Figure13(ctx context.Context, k Kind) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 13%s: 4B with SMT vs ideal dynamic multi-core, %s workloads", sub(k), k),
 		[]string{"4B_SMT", "dynamic_noSMT", "dynamic_SMT"}, threadCols())
 
@@ -328,7 +330,7 @@ func (s *Study) Figure13(k Kind) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw4, err := s.SweepDesign(fourB, k)
+	sw4, err := s.SweepDesign(ctx, fourB, k)
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +339,7 @@ func (s *Study) Figure13(k Kind) (*Table, error) {
 	}
 
 	for row, smt := range map[int]bool{1: false, 2: true} {
-		sweeps, err := s.sweepAll(config.NineDesigns(smt), k)
+		sweeps, err := s.sweepAll(ctx, config.NineDesigns(smt), k)
 		if err != nil {
 			return nil, err
 		}
@@ -363,11 +365,11 @@ func (s *Study) Figure13(k Kind) (*Table, error) {
 
 // Figure14 returns average chip power (gated) versus thread count for the
 // nine SMT designs with homogeneous workloads.
-func (s *Study) Figure14() (*Table, error) {
+func (s *Study) Figure14(ctx context.Context) (*Table, error) {
 	t := NewTable("Figure 14: power (W) vs thread count, power gating, SMT, homogeneous workloads",
 		designNames(), threadCols())
 	t.Precision = 1
-	sweeps, err := s.sweepAll(config.NineDesigns(true), Homogeneous)
+	sweeps, err := s.sweepAll(ctx, config.NineDesigns(true), Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -382,12 +384,12 @@ func (s *Study) Figure14() (*Table, error) {
 // Figure15 returns throughput, power, normalized energy and normalized EDP
 // for the nine SMT designs under a uniform distribution with heterogeneous
 // workloads. Energy and EDP are normalized to the 4B design.
-func (s *Study) Figure15() (*Table, error) {
+func (s *Study) Figure15(ctx context.Context) (*Table, error) {
 	t := NewTable("Figure 15: throughput vs power and energy, heterogeneous workloads, uniform distribution",
 		designNames(), []string{"STP", "watts", "energy_norm", "edp_norm"})
 	u := dist.Uniform()
 	type pp struct{ stp, w float64 }
-	sweeps, err := s.sweepAll(config.NineDesigns(true), Heterogeneous)
+	sweeps, err := s.sweepAll(ctx, config.NineDesigns(true), Heterogeneous)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+
 	"fmt"
 
 	"smtflex/internal/config"
@@ -22,11 +24,11 @@ type Finding struct {
 // CheckFindings evaluates every finding of the paper against the study's
 // results and returns them in order. It is the machine-checkable core of
 // EXPERIMENTS.md and runs the full simulation campaign on first use.
-func (s *Study) CheckFindings() ([]Finding, error) {
+func (s *Study) CheckFindings(ctx context.Context) ([]Finding, error) {
 	var out []Finding
 
 	// --- Finding 1: 4B best at low counts, close at high counts. ---
-	f3a, err := s.Figure3(Homogeneous)
+	f3a, err := s.Figure3(ctx, Homogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +57,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 2: without SMT the optimum is heterogeneous. ---
-	f6, err := s.Figure6()
+	f6, err := s.Figure6(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +79,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 3: 4B+SMT beats heterogeneous designs without SMT. ---
-	f7, err := s.Figure7()
+	f7, err := s.Figure7(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +107,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 4: heterogeneity + SMT adds little over 4B + SMT. ---
-	f8, err := s.Figure8()
+	f8, err := s.Figure8(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +156,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 6: datacenter distributions. ---
-	f10, err := s.Figure10()
+	f10, err := s.Figure10(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +183,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 7: multi-threaded workloads. ---
-	f11, err := s.Figure11()
+	f11, err := s.Figure11(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +204,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 8: dynamic multi-cores. ---
-	f13, err := s.Figure13(Heterogeneous)
+	f13, err := s.Figure13(ctx, Heterogeneous)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +223,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 9: energy efficiency. ---
-	f15, err := s.Figure15()
+	f15, err := s.Figure15(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +245,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 10: larger caches / higher frequency. ---
-	f16, err := s.Figure16()
+	f16, err := s.Figure16(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +266,7 @@ func (s *Study) CheckFindings() ([]Finding, error) {
 	})
 
 	// --- Finding 11: higher memory bandwidth. ---
-	f17, err := s.Figure17a()
+	f17, err := s.Figure17a(ctx)
 	if err != nil {
 		return nil, err
 	}

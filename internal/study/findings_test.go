@@ -1,10 +1,12 @@
 package study
 
+import "context"
+
 import "testing"
 
 func TestCheckFindings(t *testing.T) {
 	s := sharedStudy()
-	findings, err := s.CheckFindings()
+	findings, err := s.CheckFindings(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

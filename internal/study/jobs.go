@@ -1,0 +1,27 @@
+package study
+
+import (
+	"context"
+
+	"smtflex/internal/config"
+	"smtflex/internal/timeline"
+)
+
+// RunJobs simulates the same job stream on every design, fanning the
+// independent designs over the worker pool. Results come back in design
+// order; a cancelled context stops handing designs to workers.
+func (s *Study) RunJobs(ctx context.Context, designs []config.Design, jobs []timeline.Job) ([]timeline.Result, error) {
+	out := make([]timeline.Result, len(designs))
+	err := runIndexed(ctx, s.workers(), len(designs), func(i int) error {
+		r, err := timeline.Simulate(designs[i], jobs, s.Src)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

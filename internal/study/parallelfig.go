@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+
 	"fmt"
 
 	"smtflex/internal/config"
@@ -69,7 +71,7 @@ func (s *Study) bestSpeedup(app parallel.App, d config.Design) (roi, whole float
 
 // parallelSpeedupTable fills rows=designs × cols={ROI,whole} with speedups
 // averaged over all applications.
-func (s *Study) parallelSpeedupTable(title string, designs []config.Design) (*Table, error) {
+func (s *Study) parallelSpeedupTable(ctx context.Context, title string, designs []config.Design) (*Table, error) {
 	names := make([]string, len(designs))
 	for i, d := range designs {
 		suffix := ""
@@ -82,7 +84,7 @@ func (s *Study) parallelSpeedupTable(title string, designs []config.Design) (*Ta
 	apps := parallel.AppNames()
 	type speedup struct{ roi, whole float64 }
 	vals := make([]speedup, len(designs)*len(apps))
-	err := runIndexed(s.workers(), len(vals), func(i int) error {
+	err := runIndexed(ctx, s.workers(), len(vals), func(i int) error {
 		d, name := designs[i/len(apps)], apps[i%len(apps)]
 		app, err := parallel.AppByName(name)
 		if err != nil {
@@ -110,15 +112,15 @@ func (s *Study) parallelSpeedupTable(title string, designs []config.Design) (*Ta
 
 // Figure11 returns average multi-threaded speedups (versus four threads on
 // 4B) for the parallel designs, without and with SMT.
-func (s *Study) Figure11() (*Table, error) {
+func (s *Study) Figure11(ctx context.Context) (*Table, error) {
 	designs := append(heteroParallelDesigns(false), heteroParallelDesigns(true)...)
-	return s.parallelSpeedupTable(
+	return s.parallelSpeedupTable(ctx,
 		"Figure 11: average PARSEC-like speedup vs 4-thread 4B (ROI and whole program)", designs)
 }
 
 // Figure12 returns per-application best speedups: apps × designs, for the
 // given phase ("ROI" or "whole"), with SMT enabled.
-func (s *Study) Figure12(phase string) (*Table, error) {
+func (s *Study) Figure12(ctx context.Context, phase string) (*Table, error) {
 	designs := heteroParallelDesigns(true)
 	names := make([]string, len(designs))
 	for i, d := range designs {
@@ -127,7 +129,7 @@ func (s *Study) Figure12(phase string) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 12: per-application speedup (%s, SMT designs)", phase),
 		parallel.AppNames(), names)
 	apps := parallel.AppNames()
-	err := runIndexed(s.workers(), len(designs)*len(apps), func(i int) error {
+	err := runIndexed(ctx, s.workers(), len(designs)*len(apps), func(i int) error {
 		c, r := i/len(apps), i%len(apps)
 		app, err := parallel.AppByName(apps[r])
 		if err != nil {
@@ -154,7 +156,7 @@ func (s *Study) Figure12(phase string) (*Table, error) {
 // designs of Section 8.1 — private caches enlarged to the big core's
 // (6m_lc, 16s_lc) and frequency raised to 3.33 GHz (6m_hf, 16s_hf) —
 // compared against the three baseline homogeneous designs, SMT everywhere.
-func (s *Study) Figure16() (*Table, error) {
+func (s *Study) Figure16(ctx context.Context) (*Table, error) {
 	designs := []config.Design{}
 	for _, name := range []string{"4B", "8m", "20s"} {
 		d, err := config.DesignByName(name, true)
@@ -164,28 +166,28 @@ func (s *Study) Figure16() (*Table, error) {
 		designs = append(designs, d)
 	}
 	designs = append(designs, config.AlternativeDesigns(true)...)
-	return s.parallelSpeedupTable(
+	return s.parallelSpeedupTable(ctx,
 		"Figure 16: average ROI speedup with larger-cache and higher-frequency small/medium designs", designs)
 }
 
 // Figure17a returns uniform-distribution average STP with 16 GB/s memory
 // bandwidth (SMT everywhere): designs × workload kinds.
-func (s *Study) Figure17a() (*Table, error) {
+func (s *Study) Figure17a(ctx context.Context) (*Table, error) {
 	designs := config.NineDesigns(true)
 	for i := range designs {
 		designs[i] = designs[i].WithBandwidth(16)
 	}
-	return s.uniformAverages("Figure 17a: average STP, uniform distribution, SMT, 16 GB/s memory bandwidth", designs)
+	return s.uniformAverages(ctx, "Figure 17a: average STP, uniform distribution, SMT, 16 GB/s memory bandwidth", designs)
 }
 
 // Figure17b returns average parallel speedups at 16 GB/s bandwidth.
-func (s *Study) Figure17b() (*Table, error) {
+func (s *Study) Figure17b(ctx context.Context) (*Table, error) {
 	var designs []config.Design
 	for _, smt := range []bool{false, true} {
 		for _, d := range heteroParallelDesigns(smt) {
 			designs = append(designs, d.WithBandwidth(16))
 		}
 	}
-	return s.parallelSpeedupTable(
+	return s.parallelSpeedupTable(ctx,
 		"Figure 17b: average PARSEC-like speedup, 16 GB/s memory bandwidth", designs)
 }

@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+
 	"testing"
 )
 
@@ -49,7 +51,7 @@ func TestFinding7Figure11(t *testing.T) {
 
 func TestFigure12PerApp(t *testing.T) {
 	s := sharedStudy()
-	tab := mustFigure(t, func() (*Table, error) { return s.Figure12("ROI") })
+	tab := mustFigure(t, func(ctx context.Context) (*Table, error) { return s.Figure12(ctx, "ROI") })
 	if len(tab.Rows) != 13 || len(tab.Cols) != 5 {
 		t.Fatalf("figure 12 shape %dx%d", len(tab.Rows), len(tab.Cols))
 	}

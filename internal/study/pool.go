@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,12 @@ import (
 // to the serial engine's regardless of completion order. The caches the
 // workers stress (profiles, solo rates, sweeps) use memo.Cache, whose
 // singleflight semantics make concurrent misses compute once.
+//
+// The pool is also the engine's cancellation point: runIndexed checks the
+// context before handing each index to a worker, so when a server request is
+// abandoned mid-sweep the remaining grid is dropped instead of burning
+// workers for a result nobody will read. In-progress evaluations finish
+// (they are short); no new ones start.
 
 // workers resolves the pool size: Parallelism if positive, else GOMAXPROCS.
 func (s *Study) workers() int {
@@ -21,17 +28,26 @@ func (s *Study) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runIndexed runs fn(i) for every i in [0, n) on up to workers goroutines.
-// On error the pool stops handing out new indices and returns the error with
-// the lowest index among those observed (the serial engine's error, unless a
-// later index failed first and won the race to stop the pool). With one
-// worker it degenerates to the plain serial loop.
-func runIndexed(workers, n int, fn func(i int) error) error {
+// runIndexed runs fn(i) for every i in [0, n) on up to workers goroutines,
+// stopping early if ctx is cancelled. On a task error the pool stops handing
+// out new indices and returns the error with the lowest index among those
+// observed (the serial engine's error, unless a later index failed first and
+// won the race to stop the pool). On cancellation it returns ctx.Err(),
+// unless every index was already handed out and completed — then the work is
+// done and the cancellation is irrelevant. With one worker it degenerates to
+// the plain serial loop.
+func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -47,6 +63,14 @@ func runIndexed(workers, n int, fn func(i int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -56,13 +80,14 @@ func runIndexed(workers, n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					// Only a cancellation that actually skips an index is an
+					// error; i was due to run and will not.
+					record(i, err)
+					return
+				}
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					failed.Store(true)
+					record(i, err)
 					return
 				}
 			}

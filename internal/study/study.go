@@ -6,6 +6,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -72,7 +73,39 @@ type Study struct {
 	// by this Study — test instrumentation for the singleflight guarantees.
 	soloComputes  atomic.Int64
 	sweepComputes atomic.Int64
+	// evals counts EvaluateMix calls: the unit of engine work the pool hands
+	// out, and the observable for cancellation tests (a cancelled sweep's
+	// count stops rising and stays below the full grid).
+	evals atomic.Int64
 }
+
+// Evaluations returns the number of mix evaluations this Study has run. It
+// is the pool-level progress observable used by the server's metrics and by
+// cancellation tests.
+func (s *Study) Evaluations() int64 { return s.evals.Load() }
+
+// CacheStats reports the size and hit rates of the study's caches, for the
+// server's observability surface.
+type CacheStats struct {
+	SoloEntries, SweepEntries int
+	SoloHits, SoloMisses      int64
+	SweepHits, SweepMisses    int64
+}
+
+// CacheStats returns a snapshot of the solo-rate and sweep cache counters.
+func (s *Study) CacheStats() CacheStats {
+	st := CacheStats{SoloEntries: s.solo.Len(), SweepEntries: s.sweeps.Len()}
+	st.SoloHits, st.SoloMisses = s.solo.Stats()
+	st.SweepHits, st.SweepMisses = s.sweeps.Stats()
+	return st
+}
+
+// BoundCaches caps the sweep cache at maxSweeps entries with LRU eviction,
+// for long-running servers whose request history would otherwise grow the
+// cache without limit. The solo-rate and profile caches are intrinsically
+// bounded by the benchmark suite and stay unbounded. Zero restores the
+// batch default (keep everything).
+func (s *Study) BoundCaches(maxSweeps int) { s.sweeps.Bound(maxSweeps) }
 
 // New returns a Study with the paper's defaults.
 func New(src *profiler.Source) *Study {
@@ -123,6 +156,7 @@ type MixResult struct {
 
 // EvaluateMix places and solves one mix on a design and computes metrics.
 func (s *Study) EvaluateMix(d config.Design, mix workload.Mix) (MixResult, error) {
+	s.evals.Add(1)
 	placement, err := sched.Place(d, mix, s.Src)
 	if err != nil {
 		return MixResult{}, err
@@ -200,18 +234,25 @@ func (s *Study) mixesAt(k Kind, n int) []workload.Mix {
 
 // SweepDesign evaluates the design across 1..24 threads for the workload
 // kind, caching the result. Concurrent calls for the same (design, kind,
-// model) compute the sweep once; the evaluation itself fans every
-// (thread count, mix) pair over the worker pool and assembles the result in
-// index order, so the sweep is bit-for-bit identical to the serial engine's.
-func (s *Study) SweepDesign(d config.Design, k Kind) (*Sweep, error) {
-	return s.sweeps.Get(s.sweepKey(d, k), func() (*Sweep, error) {
+// model) coalesce onto one computation — including calls from distinct
+// server requests — and each caller waits only as long as its own ctx
+// allows: when every caller interested in the key has abandoned it, the
+// shared computation is cancelled and uncached so a later request retries.
+// The evaluation itself fans every (thread count, mix) pair over the worker
+// pool and assembles the result in index order, so the sweep is bit-for-bit
+// identical to the serial engine's.
+func (s *Study) SweepDesign(ctx context.Context, d config.Design, k Kind) (*Sweep, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.sweeps.GetCtx(ctx, s.sweepKey(d, k), func(cctx context.Context) (*Sweep, error) {
 		s.sweepComputes.Add(1)
-		return s.computeSweep(d, k)
+		return s.computeSweep(cctx, d, k)
 	})
 }
 
 // computeSweep does the actual evaluation behind SweepDesign's cache.
-func (s *Study) computeSweep(d config.Design, k Kind) (*Sweep, error) {
+func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Sweep, error) {
 	sw := &Sweep{Design: d, Kind: k}
 	nMixes := len(s.mixesAt(k, 1))
 	sw.ByMix = make([][MaxThreads]float64, nMixes)
@@ -237,7 +278,7 @@ func (s *Study) computeSweep(d config.Design, k Kind) (*Sweep, error) {
 	for i := range results {
 		results[i] = make([]MixResult, nMixes)
 	}
-	err := runIndexed(s.workers(), MaxThreads*nMixes, func(i int) error {
+	err := runIndexed(ctx, s.workers(), MaxThreads*nMixes, func(i int) error {
 		n, mi := i/nMixes+1, i%nMixes
 		r, err := s.EvaluateMix(d, mixes[n][mi])
 		if err != nil {

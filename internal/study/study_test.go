@@ -1,6 +1,8 @@
 package study
 
 import (
+	"context"
+
 	"math"
 	"sync"
 	"testing"
@@ -25,9 +27,9 @@ func sharedStudy() *Study {
 	return shared
 }
 
-func mustFigure(t *testing.T, f func() (*Table, error)) *Table {
+func mustFigure(t *testing.T, f func(context.Context) (*Table, error)) *Table {
 	t.Helper()
-	tab, err := f()
+	tab, err := f(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +56,11 @@ func TestSoloRateNormalization(t *testing.T) {
 func TestSweepCaching(t *testing.T) {
 	s := sharedStudy()
 	d, _ := config.DesignByName("4B", true)
-	a, err := s.SweepDesign(d, Homogeneous)
+	a, err := s.SweepDesign(context.Background(), d, Homogeneous)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.SweepDesign(d, Homogeneous)
+	b, err := s.SweepDesign(context.Background(), d, Homogeneous)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func TestSweepMonotoneAtLowCounts(t *testing.T) {
 	// STP grows with thread count while cores are still free.
 	s := sharedStudy()
 	d, _ := config.DesignByName("4B", true)
-	sw, err := s.SweepDesign(d, Homogeneous)
+	sw, err := s.SweepDesign(context.Background(), d, Homogeneous)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestSweepMonotoneAtLowCounts(t *testing.T) {
 // stays within a modest gap of the best design at 24 threads.
 func TestFinding1(t *testing.T) {
 	s := sharedStudy()
-	tab := mustFigure(t, func() (*Table, error) { return s.Figure3(Homogeneous) })
+	tab := mustFigure(t, func(ctx context.Context) (*Table, error) { return s.Figure3(ctx, Homogeneous) })
 	r4B := tab.Row("4B")
 	// At n <= 4 no design beats 4B.
 	for n := 1; n <= 4; n++ {
@@ -222,7 +224,7 @@ func TestFinding6(t *testing.T) {
 func TestFinding8(t *testing.T) {
 	s := sharedStudy()
 	for _, kind := range []Kind{Homogeneous, Heterogeneous} {
-		tab := mustFigure(t, func() (*Table, error) { return s.Figure13(kind) })
+		tab := mustFigure(t, func(ctx context.Context) (*Table, error) { return s.Figure13(ctx, kind) })
 		r4, rn, rs := tab.Row("4B_SMT"), tab.Row("dynamic_noSMT"), tab.Row("dynamic_SMT")
 		var sum4, sumN, sumS float64
 		for n := 0; n < MaxThreads; n++ {
@@ -362,7 +364,7 @@ func TestFigure4Libquantum(t *testing.T) {
 	// Figure 4(b): for the bandwidth-bound benchmark, the designs converge
 	// at high thread counts (shared-resource contention dominates).
 	s := sharedStudy()
-	tab := mustFigure(t, func() (*Table, error) { return s.Figure4("libquantum") })
+	tab := mustFigure(t, func(ctx context.Context) (*Table, error) { return s.Figure4(ctx, "libquantum") })
 	min, max := math.Inf(1), 0.0
 	for r := range tab.Rows {
 		v := tab.Get(r, 23)
@@ -377,7 +379,7 @@ func TestFigure4Libquantum(t *testing.T) {
 		t.Errorf("libquantum designs spread %.2fx at 24 threads, should converge", max/min)
 	}
 	// tonto keeps a bigger spread (Figure 4(a) behaviour).
-	tontoTab := mustFigure(t, func() (*Table, error) { return s.Figure4("tonto") })
+	tontoTab := mustFigure(t, func(ctx context.Context) (*Table, error) { return s.Figure4(ctx, "tonto") })
 	tmin, tmax := math.Inf(1), 0.0
 	for r := range tontoTab.Rows {
 		v := tontoTab.Get(r, 23)
@@ -412,7 +414,7 @@ func TestFigure9PerBenchmark(t *testing.T) {
 func TestDistributionAggregation(t *testing.T) {
 	s := sharedStudy()
 	d, _ := config.DesignByName("4B", true)
-	sw, err := s.SweepDesign(d, Heterogeneous)
+	sw, err := s.SweepDesign(context.Background(), d, Heterogeneous)
 	if err != nil {
 		t.Fatal(err)
 	}
