@@ -111,7 +111,9 @@ func sweepSource() *profiler.Source {
 				panic(err)
 			}
 			for _, ct := range []config.CoreType{config.Big, config.Medium, config.Small} {
-				sweepSrc.Profile(spec, ct)
+				if _, err := sweepSrc.Profile(spec, ct); err != nil {
+					panic(err)
+				}
 			}
 		}
 	})
@@ -194,7 +196,10 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	g := trace.NewGenerator(spec, 1)
+	g, err := trace.NewGenerator(spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Next()
@@ -287,7 +292,10 @@ func BenchmarkIntervalEvaluate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := src.Profile(spec, config.Big)
+	p, err := src.Profile(spec, config.Big)
+	if err != nil {
+		b.Fatal(err)
+	}
 	cc := config.BigCore()
 	sh := interval.Shares{L1I: 32 << 10, L1D: 16 << 10, L2: 128 << 10, LLC: 2 << 20, MemLatencyCycles: 200}
 	b.ResetTimer()
@@ -308,7 +316,10 @@ func BenchmarkProfileMeasurement(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		src := profiler.NewSource(60_000) // fresh cache every iteration
-		p := src.Profile(spec, config.Medium)
+		p, err := src.Profile(spec, config.Medium)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if p.DataAPKU <= 0 {
 			b.Fatal("bad profile")
 		}

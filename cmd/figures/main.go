@@ -6,6 +6,12 @@
 //	figures -exp all
 //	figures -exp fig8,fig11 -uops 300000
 //	figures -exp all -csv out/
+//	figures -exp all -checkpoint run.ckpt   # resumable campaign
+//
+// With -checkpoint, every completed figure (and the measured profile cache)
+// is persisted crash-safely after it finishes; re-running the same command
+// after a crash resumes the campaign, skipping finished figures and reusing
+// measured profiles, and reproduces byte-identical tables.
 package main
 
 import (
@@ -19,7 +25,9 @@ import (
 	"strings"
 	"time"
 
+	"smtflex/internal/checkpoint"
 	"smtflex/internal/core"
+	"smtflex/internal/study"
 )
 
 func main() {
@@ -28,6 +36,7 @@ func main() {
 	mixes := flag.Int("mixes", 12, "random heterogeneous mixes per thread count")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
 	list := flag.Bool("list", false, "list available figure ids and exit")
 	flag.Parse()
 
@@ -62,24 +71,74 @@ func main() {
 
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithMixesPerCount(*mixes), core.WithParallelism(*workers))
 
+	var ckpt *checkpoint.Manager
+	if *ckptPath != "" {
+		var resumed int
+		var err error
+		ckpt, resumed, err = checkpoint.Open(*ckptPath, checkpoint.Fingerprint{UopCount: *uops, Mixes: *mixes})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		if resumed > 0 {
+			fmt.Fprintf(os.Stderr, "figures: resuming from %s: %d figure(s) already complete\n", *ckptPath, resumed)
+		}
+		// The measured profiles are the expensive state inside an unfinished
+		// figure: reload them so a resumed campaign re-solves but never
+		// re-measures.
+		profPath := checkpoint.ProfilesPath(*ckptPath)
+		if _, statErr := os.Stat(profPath); statErr == nil {
+			n, err := sim.Source().LoadJSONFile(profPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "figures: reloaded %d measured profile(s) from %s\n", n, profPath)
+		}
+	}
+
 	for _, id := range ids {
 		start := time.Now()
+		var tab *study.Table
+		if ckpt != nil {
+			if t, ok := ckpt.Table(id); ok {
+				fmt.Printf("== %s (resumed) ==\n%s\n", id, t)
+				writeCSV(*csvDir, id, t)
+				continue
+			}
+		}
 		tab, err := sim.Figure(context.Background(), id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), tab)
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		if ckpt != nil {
+			if err := ckpt.Put(id, tab); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				os.Exit(1)
 			}
-			path := filepath.Join(*csvDir, id+".csv")
-			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+			if err := sim.Source().SaveJSONFile(checkpoint.ProfilesPath(*ckptPath)); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				os.Exit(1)
 			}
 		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), tab)
+		writeCSV(*csvDir, id, tab)
+	}
+}
+
+// writeCSV writes the table as <dir>/<id>.csv; a no-op when dir is empty.
+func writeCSV(dir, id string, tab *study.Table) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, id+".csv")
+	if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -6,6 +6,9 @@
 //
 //	profiler -bench mcf -core big
 //	profiler -bench all -core all -uops 300000
+//
+// Exit codes: 0 success; 1 an engine error (measurement, profile I/O);
+// 2 a usage error (unknown flag, benchmark or core type).
 package main
 
 import (
@@ -18,6 +21,13 @@ import (
 	"smtflex/internal/workload"
 )
 
+// fail prints a one-line diagnostic and exits: code 1 for engine errors,
+// code 2 for usage errors (matching the flag package's own convention).
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "profiler: "+format+"\n", args...)
+	os.Exit(code)
+}
+
 func main() {
 	bench := flag.String("bench", "all", "benchmark name or 'all'")
 	coreType := flag.String("core", "all", "core type: big, medium, small or 'all'")
@@ -25,14 +35,19 @@ func main() {
 	curves := flag.Bool("curves", false, "also print the miss-ratio curves")
 	load := flag.String("load", "", "load previously saved profiles from this JSON file")
 	save := flag.String("save", "", "save all measured profiles to this JSON file")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage: profiler [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nExit codes:\n  0  success\n  1  engine error (measurement or profile I/O failed)\n  2  usage error (bad flag, benchmark or core type)\n")
+	}
 	flag.Parse()
 
 	src := profiler.NewSource(*uops)
 	if *load != "" {
 		n, err := src.LoadJSONFile(*load)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
-			os.Exit(1)
+			fail(1, "%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "loaded %d profiles from %s\n", n, *load)
 	}
@@ -52,18 +67,19 @@ func main() {
 	case "small":
 		types = []config.CoreType{config.Small}
 	default:
-		fmt.Fprintf(os.Stderr, "profiler: unknown core type %q\n", *coreType)
-		os.Exit(1)
+		fail(2, "unknown core type %q", *coreType)
 	}
 
 	for _, b := range benches {
 		spec, err := workload.ByName(b)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
-			os.Exit(1)
+			fail(2, "%v", err)
 		}
 		for _, ct := range types {
-			p := src.Profile(spec, ct)
+			p, err := src.Profile(spec, ct)
+			if err != nil {
+				fail(1, "measuring %s on %s: %v", b, ct, err)
+			}
 			fmt.Printf("%s on %s core:\n", b, ct)
 			fmt.Printf("  base CPI by window: ")
 			for i, w := range p.BaseWindows {
@@ -89,8 +105,7 @@ func main() {
 		// Crash-safe: temp file in the same directory + atomic rename, so an
 		// interrupted run never truncates an existing profile file.
 		if err := src.SaveJSONFile(*save); err != nil {
-			fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
-			os.Exit(1)
+			fail(1, "%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "saved profiles to %s\n", *save)
 	}

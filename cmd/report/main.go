@@ -5,6 +5,11 @@
 // Usage:
 //
 //	report -uops 200000 > EXPERIMENTS-generated.md
+//	report -figures -checkpoint run.ckpt > EXPERIMENTS-generated.md
+//
+// With -checkpoint, the measured profile cache and every completed figure
+// table are persisted crash-safely; re-running after a crash resumes the
+// campaign, skipping finished work and reproducing byte-identical tables.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"smtflex/internal/checkpoint"
 	"smtflex/internal/core"
 )
 
@@ -23,15 +29,41 @@ func main() {
 	uops := flag.Uint64("uops", 200_000, "cycle-engine µops per profiling run")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
 	figures := flag.Bool("figures", false, "append every figure table to the report")
+	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
 	flag.Parse()
 
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithParallelism(*workers))
+
+	var ckpt *checkpoint.Manager
+	if *ckptPath != "" {
+		var err error
+		ckpt, _, err = checkpoint.Open(*ckptPath, checkpoint.Fingerprint{UopCount: *uops, Mixes: 12})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		profPath := checkpoint.ProfilesPath(*ckptPath)
+		if _, statErr := os.Stat(profPath); statErr == nil {
+			if _, err := sim.Source().LoadJSONFile(profPath); err != nil {
+				fmt.Fprintf(os.Stderr, "report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	start := time.Now()
 
 	findings, err := sim.Study().CheckFindings(context.Background())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
 		os.Exit(1)
+	}
+	if ckpt != nil {
+		// The findings campaign has measured every profile it needs; persist
+		// them so a later crash in the figures loop resumes cheaply.
+		if err := sim.Source().SaveJSONFile(checkpoint.ProfilesPath(*ckptPath)); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Println("# Findings report")
@@ -55,10 +87,26 @@ func main() {
 	if *figures {
 		fmt.Println()
 		for _, id := range core.FigureIDs() {
+			if ckpt != nil {
+				if tab, ok := ckpt.Table(id); ok {
+					fmt.Printf("## %s\n\n```\n%s```\n\n", id, tab)
+					continue
+				}
+			}
 			tab, err := sim.Figure(context.Background(), id)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "report: %s: %v\n", id, err)
 				os.Exit(1)
+			}
+			if ckpt != nil {
+				if err := ckpt.Put(id, tab); err != nil {
+					fmt.Fprintf(os.Stderr, "report: %v\n", err)
+					os.Exit(1)
+				}
+				if err := sim.Source().SaveJSONFile(checkpoint.ProfilesPath(*ckptPath)); err != nil {
+					fmt.Fprintf(os.Stderr, "report: %v\n", err)
+					os.Exit(1)
+				}
 			}
 			fmt.Printf("## %s\n\n```\n%s```\n\n", id, tab)
 		}

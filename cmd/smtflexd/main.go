@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"smtflex/internal/core"
+	"smtflex/internal/faults"
 	"smtflex/internal/server"
 )
 
@@ -48,7 +49,16 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
 	cacheCap := flag.Int("cache-cap", 512, "max cached sweeps before LRU eviction (0 = unbounded)")
 	logJSON := flag.Bool("log-json", false, "log in JSON instead of text")
+	faultSpec := flag.String("faults", "", "DEV ONLY: arm fault injection, e.g. 'solver=error,profiler=latency:50ms,handler=panic:3'")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		if err := faults.ParseSpec(*faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "smtflexd: WARNING: fault injection armed (-faults %q); never use in production\n", *faultSpec)
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {

@@ -6,6 +6,9 @@
 //	smtsim -design 4B -programs mcf,tonto,hmmer,libquantum
 //	smtsim -design 2B10s -smt=false -programs mcf,mcf,mcf
 //	smtsim -design 4B -engine cycle -uops 100000 -programs tonto,mcf
+//
+// Exit codes: 0 success; 1 an engine error (bad design point, profiling or
+// solver failure); 2 a usage error (unknown flag or engine).
 package main
 
 import (
@@ -17,6 +20,13 @@ import (
 	"smtflex/internal/core"
 )
 
+// fail prints a one-line diagnostic and exits: code 1 for engine errors,
+// code 2 for usage errors (matching the flag package's own convention).
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smtsim: "+format+"\n", args...)
+	os.Exit(code)
+}
+
 func main() {
 	design := flag.String("design", "4B", "design point (4B, 8m, 20s, 3B2m, 3B5s, 2B4m, 2B10s, 1B6m, 1B15s)")
 	smt := flag.Bool("smt", true, "enable SMT")
@@ -24,6 +34,12 @@ func main() {
 	engine := flag.String("engine", "interval", "engine: interval or cycle")
 	uops := flag.Uint64("uops", 100_000, "µops per thread for the cycle engine")
 	profUops := flag.Uint64("profile-uops", 200_000, "µops per profiling run for the interval engine")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage: smtsim [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nExit codes:\n  0  success\n  1  engine error (bad design, profiling or solver failure)\n  2  usage error (bad flag or engine)\n")
+	}
 	flag.Parse()
 
 	sim := core.NewSimulator(core.WithUopCount(*profUops))
@@ -36,8 +52,7 @@ func main() {
 	case "interval":
 		res, err := sim.RunMix(*design, *smt, progs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
-			os.Exit(1)
+			fail(1, "%v", err)
 		}
 		fmt.Printf("design=%s smt=%t threads=%d\n", *design, *smt, len(progs))
 		fmt.Printf("STP              %.3f\n", res.STP)
@@ -45,11 +60,12 @@ func main() {
 		fmt.Printf("power (gated)    %.1f W\n", res.Watts)
 		fmt.Printf("power (ungated)  %.1f W\n", res.WattsUngated)
 		fmt.Printf("bus utilization  %.1f %%\n", 100*res.BusUtilization)
+		fmt.Printf("solver           %d iterations, residual %.2e, converged=%t\n",
+			res.Diag.Iterations, res.Diag.Residual, res.Diag.Converged)
 	case "cycle":
 		stats, err := sim.RunCycleAccurate(*design, *smt, progs, *uops)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
-			os.Exit(1)
+			fail(1, "%v", err)
 		}
 		fmt.Printf("design=%s smt=%t threads=%d engine=cycle uops/thread=%d\n", *design, *smt, len(progs), *uops)
 		for i, st := range stats {
@@ -57,7 +73,6 @@ func main() {
 				i, progs[i], st.IPC(), st.CPI(), st.MemStallCPI(), st.BranchStallCPI(), st.FetchStallCPI(), st.Mispredicts)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "smtsim: unknown engine %q\n", *engine)
-		os.Exit(1)
+		fail(2, "unknown engine %q", *engine)
 	}
 }

@@ -5,11 +5,15 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
 	"smtflex/internal/isa"
 )
+
+// ErrBadConfig is wrapped by every cache-geometry validation failure.
+var ErrBadConfig = errors.New("cache: invalid geometry")
 
 // AccessKind distinguishes reads from writes for statistics and write
 // allocation policy.
@@ -60,8 +64,16 @@ func (c Config) Sets() int {
 }
 
 // Validate reports whether the geometry is usable: positive sizes and a
-// power-of-two number of sets (required for bit-sliced indexing).
+// power-of-two number of sets (required for bit-sliced indexing). Every
+// failure wraps ErrBadConfig.
 func (c Config) Validate() error {
+	if err := c.validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+func (c Config) validate() error {
 	n := c.Sets()
 	if n <= 0 {
 		return fmt.Errorf("cache %s: non-positive set count (size=%d assoc=%d block=%d)",
@@ -96,11 +108,12 @@ type Cache struct {
 	Stats Stats
 }
 
-// New builds a cache from cfg. It panics if the geometry is invalid, since
-// configurations are static data validated at construction time in tests.
-func New(cfg Config) *Cache {
+// New builds a cache from cfg. An invalid geometry fails with an error
+// wrapping ErrBadConfig instead of panicking, so one bad design point cannot
+// take down a process evaluating many.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	n := cfg.Sets()
 	c := &Cache{
@@ -113,7 +126,7 @@ func New(cfg Config) *Cache {
 	for i := range c.sets {
 		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache geometry.

@@ -8,6 +8,15 @@ func testConfig() Config {
 	return Config{Name: "T", SizeBytes: 1 << 12, Assoc: 2, BlockBytes: 64, LatencyCycles: 2}
 }
 
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
 func TestConfigGeometry(t *testing.T) {
 	c := testConfig()
 	if got := c.Sets(); got != 32 {
@@ -33,7 +42,7 @@ func TestConfigValidateErrors(t *testing.T) {
 }
 
 func TestColdMissThenHit(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	if hit, _ := c.Access(0x1000, Read); hit {
 		t.Fatal("cold access hit")
 	}
@@ -47,7 +56,7 @@ func TestColdMissThenHit(t *testing.T) {
 
 func TestSameSetEvictionLRU(t *testing.T) {
 	cfg := testConfig() // 32 sets, 2-way; addresses 32*64=2048 apart share a set
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	const stride = 2048
 	a, b, d := uint64(0), uint64(stride), uint64(2*stride)
 	c.Access(a, Read)
@@ -63,7 +72,7 @@ func TestSameSetEvictionLRU(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	const stride = 2048
 	c.Access(0, Write)                         // dirty
 	c.Access(stride, Read)                     // clean
@@ -77,7 +86,7 @@ func TestDirtyWriteback(t *testing.T) {
 }
 
 func TestWriteAllocates(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Access(0x40, Write)
 	if hit, _ := c.Access(0x40, Read); !hit {
 		t.Fatal("write did not allocate")
@@ -85,7 +94,7 @@ func TestWriteAllocates(t *testing.T) {
 }
 
 func TestProbeDoesNotTouch(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Access(0x80, Read)
 	before := c.Stats
 	if !c.Probe(0x80) {
@@ -100,7 +109,7 @@ func TestProbeDoesNotTouch(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Access(0, Write)
 	c.Access(64, Read)
 	if dirty := c.Flush(); dirty != 1 {
@@ -112,7 +121,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestBlockAlignedAccessesSameLine(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Access(0x100, Read)
 	for off := uint64(0); off < 64; off++ {
 		if hit, _ := c.Access(0x100+off, Read); !hit {
@@ -144,7 +153,7 @@ func TestMissRateStats(t *testing.T) {
 func TestCapacityHolding(t *testing.T) {
 	// A cache of 64 blocks must hold a 64-block working set after warmup.
 	cfg := testConfig() // 4 KB / 64 = 64 blocks
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	for round := 0; round < 3; round++ {
 		for b := uint64(0); b < 64; b++ {
 			c.Access(b*64, Read)

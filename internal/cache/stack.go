@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -118,11 +119,17 @@ type MissCurve struct {
 }
 
 // At interpolates the miss ratio at the given capacity in blocks. Outside
-// the sampled range it clamps to the end values; an empty curve returns 0.
+// the sampled range it clamps to the end values; an empty curve returns 0. A
+// NaN capacity yields NaN rather than a panic, so corrupted state reaches
+// the contention solver's divergence detection instead of unwinding the
+// stack.
 func (c MissCurve) At(capacityBlocks float64) float64 {
 	n := len(c.Capacities)
 	if n == 0 {
 		return 0
+	}
+	if math.IsNaN(capacityBlocks) {
+		return math.NaN()
 	}
 	if capacityBlocks <= float64(c.Capacities[0]) {
 		return c.Ratios[0]

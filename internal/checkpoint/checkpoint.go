@@ -1,0 +1,169 @@
+// Package checkpoint persists the progress of a long simulation campaign so
+// that a crashed or killed run can resume without repeating finished work.
+//
+// A checkpoint is a single JSON file holding every completed figure table,
+// tagged with a fingerprint of the campaign parameters that determine the
+// numbers (profiling fidelity, mix count). Writes are crash-safe: the file
+// goes to a temporary name in the same directory, is fsynced, and is then
+// atomically renamed over the destination — a crash mid-write leaves the
+// previous checkpoint intact rather than a truncated document.
+//
+// Tables round-trip exactly: encoding/json renders float64 values with the
+// shortest representation that parses back to the same bits, so a table
+// restored from a checkpoint renders byte-identically to the run that
+// computed it.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"smtflex/internal/study"
+)
+
+// Fingerprint identifies the campaign parameters that determine every cell
+// value. A checkpoint written under a different fingerprint is discarded on
+// open: resuming it would mix numbers from incompatible runs.
+type Fingerprint struct {
+	// UopCount is the cycle-engine measurement length per profiling run.
+	UopCount uint64 `json:"uop_count"`
+	// Mixes is the number of random heterogeneous mixes per thread count.
+	Mixes int `json:"mixes"`
+}
+
+// storedTable is the wire form of study.Table.
+type storedTable struct {
+	Title     string      `json:"title"`
+	Rows      []string    `json:"rows"`
+	Cols      []string    `json:"cols"`
+	Cells     [][]float64 `json:"cells"`
+	Precision int         `json:"precision"`
+}
+
+// checkpointFile is the on-disk format.
+type checkpointFile struct {
+	// Version guards against format drift.
+	Version     int                     `json:"version"`
+	Fingerprint Fingerprint             `json:"fingerprint"`
+	Tables      map[string]*storedTable `json:"tables"`
+}
+
+const version = 1
+
+// Manager accumulates completed tables and persists them after every
+// addition. It is safe for concurrent use.
+type Manager struct {
+	path string
+	mu   sync.Mutex
+	file checkpointFile
+}
+
+// Open loads the checkpoint at path, or starts a fresh one if the file does
+// not exist. An existing checkpoint whose fingerprint differs from fp is
+// discarded (the stale file is left on disk until the first Put overwrites
+// it). It returns the manager and the number of tables resumed.
+func Open(path string, fp Fingerprint) (*Manager, int, error) {
+	m := &Manager{
+		path: path,
+		file: checkpointFile{Version: version, Fingerprint: fp, Tables: map[string]*storedTable{}},
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return m, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	var prev checkpointFile
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %s is not a valid checkpoint (delete it to start over): %w", path, err)
+	}
+	if prev.Version != version || prev.Fingerprint != fp || prev.Tables == nil {
+		// Parameters changed (or format drifted): the old cells are not
+		// comparable, so start over.
+		return m, 0, nil
+	}
+	m.file = prev
+	return m, len(prev.Tables), nil
+}
+
+// Table returns the completed table stored under id, or (nil, false).
+func (m *Manager) Table(id string) (*study.Table, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.file.Tables[id]
+	if !ok {
+		return nil, false
+	}
+	return &study.Table{
+		Title:     st.Title,
+		Rows:      st.Rows,
+		Cols:      st.Cols,
+		Cells:     st.Cells,
+		Precision: st.Precision,
+	}, true
+}
+
+// Put records a completed table and persists the checkpoint crash-safely.
+func (m *Manager) Put(id string, t *study.Table) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.file.Tables[id] = &storedTable{
+		Title:     t.Title,
+		Rows:      t.Rows,
+		Cols:      t.Cols,
+		Cells:     t.Cells,
+		Precision: t.Precision,
+	}
+	return m.save()
+}
+
+// Len reports the number of completed tables.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.file.Tables)
+}
+
+// save writes the checkpoint atomically. Callers hold m.mu.
+func (m *Manager) save() (err error) {
+	dir := filepath.Dir(m.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(m.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: saving: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", " ")
+	if err = enc.Encode(m.file); err != nil {
+		return fmt.Errorf("checkpoint: saving: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: saving: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: saving: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), m.path); err != nil {
+		return fmt.Errorf("checkpoint: saving: %w", err)
+	}
+	return nil
+}
+
+// ProfilesPath is the conventional sidecar path for the profiler cache that
+// accompanies a checkpoint: the measured profiles are the expensive state
+// inside a partially-finished figure, so campaigns save them alongside the
+// finished tables (via profiler.Source.SaveJSONFile, which uses the same
+// atomic-rename discipline).
+func ProfilesPath(checkpointPath string) string {
+	return checkpointPath + ".profiles"
+}

@@ -1,0 +1,207 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smtflex/internal/study"
+)
+
+func fp() Fingerprint { return Fingerprint{UopCount: 200_000, Mixes: 12} }
+
+// awkwardTable builds a table with float values that stress JSON round-trip
+// exactness: non-terminating binary fractions, huge, tiny and negative.
+func awkwardTable(title string) *study.Table {
+	t := study.NewTable(title, []string{"r0", "r1"}, []string{"c0", "c1", "c2"})
+	vals := [][]float64{
+		{1.0 / 3.0, 0.1, 1e300},
+		{-2.5e-17, math.Pi, 0.30000000000000004},
+	}
+	for r := range vals {
+		for c := range vals[r] {
+			t.Set(r, c, vals[r][c])
+		}
+	}
+	t.Precision = 5
+	return t
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	m, resumed, err := Open(path, fp())
+	if err != nil || resumed != 0 {
+		t.Fatalf("fresh open: resumed=%d err=%v", resumed, err)
+	}
+	orig := awkwardTable("Figure X")
+	if err := m.Put("figx", orig); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, resumed, err := Open(path, fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 1 {
+		t.Fatalf("resumed %d tables, want 1", resumed)
+	}
+	got, ok := m2.Table("figx")
+	if !ok {
+		t.Fatal("table lost across reopen")
+	}
+	if got.String() != orig.String() {
+		t.Fatalf("text render differs after resume:\n%q\nvs\n%q", got.String(), orig.String())
+	}
+	if got.CSV() != orig.CSV() {
+		t.Fatalf("CSV render differs after resume:\n%q\nvs\n%q", got.CSV(), orig.CSV())
+	}
+}
+
+func TestMissingTableNotReported(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	m, _, err := Open(path, fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Table("nope"); ok {
+		t.Fatal("empty manager reported a table")
+	}
+}
+
+func TestFingerprintMismatchDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	m, _, err := Open(path, fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("figx", awkwardTable("t")); err != nil {
+		t.Fatal(err)
+	}
+
+	other := Fingerprint{UopCount: 300_000, Mixes: 12}
+	m2, resumed, err := Open(path, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 || m2.Len() != 0 {
+		t.Fatalf("stale checkpoint resumed under a different fingerprint (resumed=%d)", resumed)
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(path, []byte(`{"version":1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, fp()); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestSaveAtomicNoTempResidue(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	m, _, err := Open(path, fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("a", awkwardTable("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("b", awkwardTable("b")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after saves: %v", names)
+	}
+}
+
+func TestSaveIntoMissingDirFails(t *testing.T) {
+	m, _, err := Open(filepath.Join(t.TempDir(), "nosuchdir", "run.ckpt"), fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("a", awkwardTable("a")); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+}
+
+func TestInterruptedCampaignResumesByteIdentical(t *testing.T) {
+	// The acceptance scenario in miniature: a campaign killed mid-run is
+	// re-run and must produce the same bytes for every table as an
+	// uninterrupted campaign.
+	ids := []string{"fig1", "fig2", "fig3"}
+	tables := map[string]*study.Table{}
+	for _, id := range ids {
+		tables[id] = awkwardTable("Table " + id)
+	}
+	render := func(m *Manager) string {
+		var out string
+		for _, id := range ids {
+			tab, ok := m.Table(id)
+			if !ok {
+				t.Fatalf("%s missing", id)
+			}
+			out += tab.String() + tab.CSV()
+		}
+		return out
+	}
+
+	// Uninterrupted reference run.
+	refPath := filepath.Join(t.TempDir(), "ref.ckpt")
+	ref, _, err := Open(refPath, fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if err := ref.Put(id, tables[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Interrupted run: two tables complete, then the process "dies".
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	m1, _, err := Open(path, fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[:2] {
+		if err := m1.Put(id, tables[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: finished work is skipped, only fig3 is recomputed.
+	m2, resumed, err := Open(path, fp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 2 {
+		t.Fatalf("resumed %d, want 2", resumed)
+	}
+	if _, ok := m2.Table("fig3"); ok {
+		t.Fatal("unfinished table reported as complete")
+	}
+	if err := m2.Put("fig3", tables["fig3"]); err != nil {
+		t.Fatal(err)
+	}
+
+	if render(m2) != render(ref) {
+		t.Fatal("resumed campaign differs from uninterrupted campaign")
+	}
+}
+
+func TestProfilesPath(t *testing.T) {
+	if got := ProfilesPath("run.ckpt"); got != "run.ckpt.profiles" {
+		t.Fatalf("profiles path %q", got)
+	}
+}

@@ -5,12 +5,18 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 
 	"smtflex/internal/cache"
 	"smtflex/internal/isa"
 	"smtflex/internal/mem"
 )
+
+// ErrBadConfig is wrapped by every core- and design-validation failure, so
+// callers can classify configuration errors with errors.Is without matching
+// message text.
+var ErrBadConfig = errors.New("config: invalid configuration")
 
 // CoreType names the three core microarchitectures of the study.
 type CoreType uint8
@@ -65,7 +71,18 @@ type Core struct {
 }
 
 // Validate reports configuration errors, including invalid cache geometry.
+// Every failure wraps ErrBadConfig.
 func (c Core) Validate() error {
+	if err := c.validate(); err != nil {
+		if errors.Is(err, ErrBadConfig) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", ErrBadConfig, err)
+	}
+	return nil
+}
+
+func (c Core) validate() error {
 	if c.Width <= 0 {
 		return fmt.Errorf("core %s: width %d", c.Type, c.Width)
 	}

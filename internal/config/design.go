@@ -1,6 +1,7 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -88,6 +89,16 @@ func (d Design) WithBandwidth(gbps float64) Design {
 
 // Validate checks every core and the LLC.
 func (d Design) Validate() error {
+	if err := d.validate(); err != nil {
+		if errors.Is(err, ErrBadConfig) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", ErrBadConfig, err)
+	}
+	return nil
+}
+
+func (d Design) validate() error {
 	if len(d.Cores) == 0 {
 		return fmt.Errorf("design %s: no cores", d.Name)
 	}

@@ -6,12 +6,22 @@
 package contention
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"smtflex/internal/config"
+	"smtflex/internal/faults"
 	"smtflex/internal/interval"
 )
+
+// ErrDiverged reports that the fixed-point iteration produced a non-finite
+// value (NaN or Inf), usually from a malformed profile or injected corruption.
+var ErrDiverged = errors.New("contention: solver diverged")
+
+// ErrNotConverged reports that a solve with a positive Model.Tolerance ran
+// out of iterations before the residual dropped below the tolerance.
+var ErrNotConverged = errors.New("contention: solver did not converge")
 
 // Placement assigns threads to cores of a design.
 type Placement struct {
@@ -60,6 +70,20 @@ type ThreadResult struct {
 	Shares interval.Shares
 }
 
+// Diagnostics reports how the fixed-point iteration went: how many
+// iterations ran, the final relative residual (the largest relative change
+// any state variable saw in the last iteration), and whether the loop
+// terminated by convergence rather than by exhausting its iteration budget.
+type Diagnostics struct {
+	// Iterations is the number of iterations executed.
+	Iterations int `json:"iterations"`
+	// Residual is the last iteration's maximum relative state change.
+	Residual float64 `json:"residual"`
+	// Converged reports termination by residual <= tolerance (with the
+	// default zero tolerance: an iteration that changed nothing at all).
+	Converged bool `json:"converged"`
+}
+
 // Result is the converged chip state.
 type Result struct {
 	Threads []ThreadResult
@@ -70,6 +94,8 @@ type Result struct {
 	// CoreUtilization[c] is Σ IPC / width for core c (the power model's
 	// activity factor).
 	CoreUtilization []float64
+	// Diag describes the solver's convergence behaviour.
+	Diag Diagnostics
 }
 
 const (
@@ -114,6 +140,7 @@ func SolveModel(p Placement, m Model) (Result, error) {
 	}
 	if n == 0 {
 		res.MemLatencyNs = m.memLatency(0, p.Design.MemBandwidthGBps)
+		res.Diag.Converged = true
 		return res, nil
 	}
 
@@ -137,11 +164,27 @@ func SolveModel(p Placement, m Model) (Result, error) {
 	llcBytes := float64(p.Design.LLC.SizeBytes)
 	memLatNs := m.memLatency(0, p.Design.MemBandwidthGBps)
 
-	for iter := 0; iter < iterations; iter++ {
+	f := m.dampFactor()
+	maxIter := m.maxIterations()
+	prevRate := make([]float64, n)
+	prevLLC := make([]float64, n)
+	prevL1D := make([]float64, n)
+	prevL2 := make([]float64, n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		if err := faults.Check(faults.SiteSolver); err != nil {
+			return Result{}, fmt.Errorf("contention: iteration %d: %w", iter, err)
+		}
+		copy(prevRate, rate)
+		copy(prevLLC, llcShare)
+		copy(prevL1D, l1dShare)
+		copy(prevL2, l2Share)
+		prevMemLat := memLatNs
+
 		// --- Private cache shares within each core (allocation-weighted) ---
 		for c, ths := range group {
 			cc := p.Design.Cores[c]
-			shareCaches(p, ths, rate, cc, l1iShare, l1dShare, l2Share, llcShare, memLatNs)
+			shareCaches(p, ths, rate, cc, l1iShare, l1dShare, l2Share, llcShare, memLatNs, f)
 		}
 
 		// --- LLC shares across all threads (allocation-weighted) ---
@@ -165,7 +208,7 @@ func SolveModel(p Placement, m Model) (Result, error) {
 				frac = 1 / float64(n)
 			}
 			frac = math.Max(frac, floor)
-			llcShare[i] = damp(llcShare[i], frac*llcBytes)
+			llcShare[i] = damp(llcShare[i], frac*llcBytes, f)
 		}
 		normalizeShares(llcShare, llcBytes)
 
@@ -176,7 +219,8 @@ func SolveModel(p Placement, m Model) (Result, error) {
 			sh := interval.Shares{L1I: l1iShare[i], L1D: l1dShare[i], L2: l2Share[i], LLC: llcShare[i], MemLatencyCycles: memLatNs * cc.FrequencyGHz}
 			traffic += p.Profiles[i].DRAMAccessesPerUop(sh) * (1 + p.Profiles[i].WritebackFraction) * rate[i]
 		}
-		memLatNs = damp(memLatNs, m.memLatency(traffic, p.Design.MemBandwidthGBps))
+		memLatNs = damp(memLatNs, m.memLatency(traffic, p.Design.MemBandwidthGBps), f)
+		memLatNs = faults.Corrupt(faults.SiteSolver, memLatNs)
 
 		// --- Per-thread CPI and per-core width/time sharing ---
 		for c, ths := range group {
@@ -205,9 +249,34 @@ func SolveModel(p Placement, m Model) (Result, error) {
 			for k, ti := range ths {
 				res.Threads[ti].IPC = ipcs[k]
 				res.Threads[ti].TimeShare = timeShare[k]
-				rate[ti] = damp(rate[ti], ipcs[k]*timeShare[k]*cc.FrequencyGHz)
+				rate[ti] = damp(rate[ti], ipcs[k]*timeShare[k]*cc.FrequencyGHz, f)
 			}
 		}
+
+		// --- Convergence diagnostics over all damped state ---
+		residual := relChange(prevMemLat, memLatNs)
+		for i := 0; i < n; i++ {
+			residual = math.Max(residual, relChange(prevRate[i], rate[i]))
+			residual = math.Max(residual, relChange(prevLLC[i], llcShare[i]))
+			residual = math.Max(residual, relChange(prevL1D[i], l1dShare[i]))
+			residual = math.Max(residual, relChange(prevL2[i], l2Share[i]))
+		}
+		res.Diag.Iterations = iter + 1
+		res.Diag.Residual = residual
+		if !finiteState(memLatNs, rate, llcShare, l1dShare, l2Share) {
+			return Result{Diag: res.Diag}, fmt.Errorf("%w: non-finite state after iteration %d", ErrDiverged, iter+1)
+		}
+		// With the default zero tolerance this fires only when an iteration
+		// changed nothing at all, so stopping here is bit-identical to
+		// running out the full budget.
+		if residual <= m.Tolerance {
+			res.Diag.Converged = true
+			break
+		}
+	}
+	if !res.Diag.Converged && m.Tolerance > 0 {
+		return Result{Diag: res.Diag}, fmt.Errorf("%w: residual %.3g after %d iterations (tolerance %g)",
+			ErrNotConverged, res.Diag.Residual, res.Diag.Iterations, m.Tolerance)
 	}
 
 	// Finalize.
@@ -243,7 +312,7 @@ func smtOccupancy(cc config.Core, smtEnabled bool, nThreads int) (coRunners int,
 // Without SMT each time-shared thread uses the full capacity during its
 // slice.
 func shareCaches(p Placement, ths []int, rate []float64, cc config.Core,
-	l1iShare, l1dShare, l2Share, llcShare []float64, memLatNs float64) {
+	l1iShare, l1dShare, l2Share, llcShare []float64, memLatNs, f float64) {
 	if len(ths) == 0 {
 		return
 	}
@@ -283,8 +352,8 @@ func shareCaches(p Placement, ths []int, rate []float64, cc config.Core,
 			frac = 1 / float64(n)
 		}
 		frac = math.Max(frac, floor)
-		l1dShare[ti] = damp(l1dShare[ti], frac*float64(cc.L1D.SizeBytes))
-		l2Share[ti] = damp(l2Share[ti], frac*float64(cc.L2.SizeBytes))
+		l1dShare[ti] = damp(l1dShare[ti], frac*float64(cc.L1D.SizeBytes), f)
+		l2Share[ti] = damp(l2Share[ti], frac*float64(cc.L2.SizeBytes), f)
 	}
 	normalizeSlice(l1dShare, ths, float64(cc.L1D.SizeBytes))
 	normalizeSlice(l2Share, ths, float64(cc.L2.SizeBytes))
@@ -302,12 +371,38 @@ func shareCaches(p Placement, ths []int, rate []float64, cc config.Core,
 	}
 }
 
-// damp blends an old and a new value to stabilize the fixed point.
-func damp(old, new float64) float64 {
+// damp blends an old and a new value to stabilize the fixed point; f is the
+// weight of the old value.
+func damp(old, new, f float64) float64 {
 	if old == 0 {
 		return new
 	}
-	return damping*old + (1-damping)*new
+	return f*old + (1-f)*new
+}
+
+// relChange returns |new-old| scaled by the larger magnitude, or exactly
+// zero when the value did not change at all.
+func relChange(old, new float64) float64 {
+	if old == new {
+		return 0
+	}
+	return math.Abs(new-old) / math.Max(math.Abs(old), math.Abs(new))
+}
+
+// finiteState reports whether the scalar and every slice element are finite.
+func finiteState(scalar float64, slices ...[]float64) bool {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	if !finite(scalar) {
+		return false
+	}
+	for _, s := range slices {
+		for _, v := range s {
+			if !finite(v) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // normalizeShares rescales all entries so they sum to capacity.

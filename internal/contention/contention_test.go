@@ -30,7 +30,11 @@ func profileFor(t *testing.T, bench string, ct config.CoreType) *interval.Profil
 	if err != nil {
 		t.Fatal(err)
 	}
-	return source().Profile(spec, ct)
+	p, err := source().Profile(spec, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 // place builds a placement of the given benchmarks round-robin over the

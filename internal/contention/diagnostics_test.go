@@ -1,0 +1,153 @@
+package contention
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"smtflex/internal/config"
+	"smtflex/internal/faults"
+	"smtflex/internal/interval"
+)
+
+// Tests for the solver's self-diagnosis: convergence diagnostics, divergence
+// detection on non-finite state, opt-in tolerance-based termination, and the
+// solver fault-injection site.
+
+func TestEmptyPlacementDiagnostics(t *testing.T) {
+	d, _ := config.DesignByName("4B", true)
+	res, err := Solve(Placement{Design: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diag.Converged {
+		t.Fatal("zero-thread placement must report convergence")
+	}
+	if res.Diag.Iterations != 0 || res.Diag.Residual != 0 {
+		t.Fatalf("zero-thread diagnostics %+v, want zero iterations and residual", res.Diag)
+	}
+}
+
+func TestDiagnosticsPopulatedOnSuccess(t *testing.T) {
+	res := solve(t, place(t, "4B", true, "tonto", "mcf"))
+	if res.Diag.Iterations < 1 {
+		t.Fatalf("iterations %d, want >= 1", res.Diag.Iterations)
+	}
+	if math.IsNaN(res.Diag.Residual) || res.Diag.Residual < 0 {
+		t.Fatalf("residual %g", res.Diag.Residual)
+	}
+}
+
+func TestNaNProfileDiverges(t *testing.T) {
+	p := place(t, "4B", true, "tonto")
+	// Corrupt a copy of the measured profile: a NaN memory-constant CPI
+	// poisons the evaluated CPI stack and with it the thread's rate.
+	bad := *p.Profiles[0]
+	bad.MemConstCPI = math.NaN()
+	p.Profiles[0] = &bad
+	_, err := Solve(p)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("NaN profile: got %v, want ErrDiverged", err)
+	}
+}
+
+func TestInfProfileDiverges(t *testing.T) {
+	// An infinite access rate makes the LLC allocation weights Inf/Inf = NaN,
+	// corrupting the capacity shares.
+	p := place(t, "4B", true, "mcf")
+	bad := *p.Profiles[0]
+	bad.DataAPKU = math.Inf(1)
+	p.Profiles[0] = &bad
+	_, err := Solve(p)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Inf profile: got %v, want ErrDiverged", err)
+	}
+}
+
+func TestToleranceExhaustionNotConverged(t *testing.T) {
+	// A contended placement cannot reach a 1e-12 relative residual in a
+	// single iteration: the solve must fail with the typed error and carry
+	// its diagnostics.
+	p := place(t, "4B", true, "mcf", "libquantum", "soplex", "gcc")
+	_, err := SolveModel(p, Model{MaxIterations: 1, Tolerance: 1e-12})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("got %v, want ErrNotConverged", err)
+	}
+}
+
+func TestToleranceConvergence(t *testing.T) {
+	// With a realistic tolerance and the default budget the damped iteration
+	// settles; the reported residual must honor the tolerance.
+	p := place(t, "4B", true, "tonto", "hmmer")
+	res, err := SolveModel(p, Model{Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diag.Converged {
+		t.Fatalf("not converged: %+v", res.Diag)
+	}
+	if res.Diag.Residual > 1e-6 {
+		t.Fatalf("residual %g above tolerance", res.Diag.Residual)
+	}
+	if res.Diag.Iterations >= 60 {
+		t.Fatalf("tolerance termination never fired early (%d iterations)", res.Diag.Iterations)
+	}
+}
+
+func TestDiagnosticsDoNotPerturbResults(t *testing.T) {
+	// The default model must produce bit-identical thread results whether or
+	// not the iteration budget is spelled out explicitly: the diagnostics are
+	// observers, not participants.
+	p := place(t, "4B", true, "mcf", "tonto", "soplex")
+	a, err := SolveModel(p, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveModel(p, Model{MaxIterations: 60, Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Threads, b.Threads) || a.MemLatencyNs != b.MemLatencyNs {
+		t.Fatal("explicit default-valued knobs changed the solution")
+	}
+}
+
+func TestSolverErrorInjection(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	faults.Enable(faults.SiteSolver, faults.Injection{Mode: faults.ModeError, Count: 1})
+	p := place(t, "4B", true, "tonto")
+	if _, err := Solve(p); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("got %v, want injected error", err)
+	}
+	// Disarmed after one firing: the same placement now solves.
+	if _, err := Solve(p); err != nil {
+		t.Fatalf("solve after disarm failed: %v", err)
+	}
+}
+
+func TestSolverNaNInjectionDiverges(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	faults.Enable(faults.SiteSolver, faults.Injection{Mode: faults.ModeNaN, Count: 1})
+	p := place(t, "4B", true, "tonto")
+	_, err := Solve(p)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("injected NaN state: got %v, want ErrDiverged", err)
+	}
+	if _, err := Solve(p); err != nil {
+		t.Fatalf("solve after disarm failed: %v", err)
+	}
+}
+
+// Guard against regressions in the validation of hand-built placements used
+// by fault scenarios: a nil-profile placement must fail structurally, not
+// diverge.
+func TestNilProfileIsConfigError(t *testing.T) {
+	d, _ := config.DesignByName("4B", true)
+	_, err := Solve(Placement{Design: d, CoreOf: []int{0}, Profiles: []*interval.Profile{nil}})
+	if err == nil || errors.Is(err, ErrDiverged) {
+		t.Fatalf("nil profile: %v", err)
+	}
+}

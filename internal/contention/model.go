@@ -18,10 +18,39 @@ type Model struct {
 	FlatVisible bool
 	// IssueEfficiency overrides interval.SMTIssueEfficiency when positive.
 	IssueEfficiency float64
+	// MaxIterations caps the fixed-point iteration count; zero selects the
+	// calibrated default (60).
+	MaxIterations int
+	// Tolerance is the relative-residual threshold for early termination.
+	// Zero (the default) keeps results bit-identical to the fixed-iteration
+	// solver: the loop stops early only when an iteration changes nothing at
+	// all, and running out of iterations is not an error. A positive tolerance
+	// stops as soon as the residual drops below it and turns exhaustion into
+	// ErrNotConverged.
+	Tolerance float64
+	// Damping overrides the fixed-point blend factor in (0,1); zero selects
+	// the calibrated default (0.5).
+	Damping float64
 }
 
 // DefaultModel returns the calibrated configuration used by Solve.
 func DefaultModel() Model { return Model{} }
+
+// maxIterations returns the iteration cap the model selects.
+func (m Model) maxIterations() int {
+	if m.MaxIterations > 0 {
+		return m.MaxIterations
+	}
+	return iterations
+}
+
+// dampFactor returns the fixed-point blend factor the model selects.
+func (m Model) dampFactor() float64 {
+	if m.Damping > 0 && m.Damping < 1 {
+		return m.Damping
+	}
+	return damping
+}
 
 // effIssue returns the SMT issue efficiency the model selects.
 func (m Model) effIssue() float64 {

@@ -165,13 +165,15 @@ type Core struct {
 	aluPerOp, lsPerOp, mdPerOp, fpPerOp float64
 }
 
-// NewCore builds a core. mem must not be nil; cfg must validate.
-func NewCore(cfg config.Core, id int, mem MemorySystem, smtOn bool, ideal Ideal) *Core {
+// NewCore builds a core. mem must not be nil; cfg must validate. Both
+// failures return errors rather than panicking, so a malformed design point
+// fails its own evaluation and nothing else.
+func NewCore(cfg config.Core, id int, mem MemorySystem, smtOn bool, ideal Ideal) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if mem == nil {
-		panic("cpu: nil memory system")
+		return nil, fmt.Errorf("cpu: nil memory system for core %d", id)
 	}
 	c := &Core{
 		cfg:      cfg,
@@ -184,7 +186,7 @@ func NewCore(cfg config.Core, id int, mem MemorySystem, smtOn bool, ideal Ideal)
 		mdPerOp:  1 / float64(cfg.MulDivUnits),
 		fpPerOp:  1 / float64(cfg.FPUnits),
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the core configuration.

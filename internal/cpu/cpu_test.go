@@ -46,7 +46,25 @@ func run(c *Core, ti, n int) ThreadStats {
 
 func newBig(t *testing.T, mem MemorySystem, smt bool, ideal Ideal) *Core {
 	t.Helper()
-	return NewCore(config.BigCore(), 0, mem, smt, ideal)
+	return mustCore(t, config.BigCore(), mem, smt, ideal)
+}
+
+func mustCore(t *testing.T, cfg config.Core, mem MemorySystem, smt bool, ideal Ideal) *Core {
+	t.Helper()
+	c, err := NewCore(cfg, 0, mem, smt, ideal)
+	if err != nil {
+		t.Fatalf("NewCore: %v", err)
+	}
+	return c
+}
+
+func mustGen(t *testing.T, spec trace.Spec, seed uint64) *trace.Generator {
+	t.Helper()
+	g, err := trace.NewGenerator(spec, seed)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
 }
 
 func TestDispatchWidthBoundsIPC(t *testing.T) {
@@ -120,13 +138,13 @@ func TestROBSizeGatesMemoryOverlap(t *testing.T) {
 	mem := flatMem{dataLat: 100}
 
 	bigCfg := config.BigCore()
-	c1 := NewCore(bigCfg, 0, mem, false, Ideal{Branch: true, ICache: true})
+	c1 := mustCore(t, bigCfg, mem, false, Ideal{Branch: true, ICache: true})
 	c1.AttachThread(script(load))
 	big := run(c1, 0, 5000).CPI()
 
 	smallCfg := config.BigCore()
 	smallCfg.ROBSize = 8
-	c2 := NewCore(smallCfg, 0, mem, false, Ideal{Branch: true, ICache: true})
+	c2 := mustCore(t, smallCfg, mem, false, Ideal{Branch: true, ICache: true})
 	c2.AttachThread(script(load))
 	small := run(c2, 0, 5000).CPI()
 
@@ -138,12 +156,12 @@ func TestROBSizeGatesMemoryOverlap(t *testing.T) {
 func TestMispredictPenalty(t *testing.T) {
 	// Unpredictable branches cost front-end refill; compare against the
 	// ideal-branch run of the same stream.
-	g := trace.NewGenerator(brSpec(), 1)
+	g := mustGen(t, brSpec(), 1)
 	c1 := newBig(t, flatMem{}, false, Ideal{Branch: true, ICache: true, DCache: true})
 	c1.AttachThread(g)
 	ideal := run(c1, 0, 30000).CPI()
 
-	g2 := trace.NewGenerator(brSpec(), 1)
+	g2 := mustGen(t, brSpec(), 1)
 	c2 := newBig(t, flatMem{}, false, Ideal{ICache: true, DCache: true})
 	c2.AttachThread(g2)
 	st := run(c2, 0, 30000)
@@ -228,11 +246,11 @@ func TestInOrderStallsOnUse(t *testing.T) {
 	indep := alu()
 	mem := flatMem{dataLat: 30}
 
-	co := NewCore(config.SmallCore(), 0, mem, false, Ideal{Branch: true, ICache: true})
+	co := mustCore(t, config.SmallCore(), mem, false, Ideal{Branch: true, ICache: true})
 	co.AttachThread(script(load, dep, indep, indep))
 	inorder := run(co, 0, 8000).CPI()
 
-	cb := NewCore(config.BigCore(), 0, mem, false, Ideal{Branch: true, ICache: true})
+	cb := mustCore(t, config.BigCore(), mem, false, Ideal{Branch: true, ICache: true})
 	cb.AttachThread(script(load, dep, indep, indep))
 	ooo := run(cb, 0, 8000).CPI()
 
@@ -266,7 +284,7 @@ func TestIdealFlagsMonotone(t *testing.T) {
 		{ICache: true, DCache: true},
 		{},
 	} {
-		g := trace.NewGenerator(spec, 5)
+		g := mustGen(t, spec, 5)
 		c := newBig(t, mem, false, ideal)
 		c.AttachThread(g)
 		cpis = append(cpis, run(c, 0, 20000).CPI())
@@ -305,13 +323,15 @@ func TestThreadStatsAccessors(t *testing.T) {
 	}
 }
 
-func TestNewCorePanicsOnBadInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nil memory accepted")
-		}
-	}()
-	NewCore(config.BigCore(), 0, nil, false, Ideal{})
+func TestNewCoreRejectsBadInput(t *testing.T) {
+	if _, err := NewCore(config.BigCore(), 0, nil, false, Ideal{}); err == nil {
+		t.Fatal("nil memory accepted")
+	}
+	bad := config.BigCore()
+	bad.Width = 0
+	if _, err := NewCore(bad, 0, flatMem{}, false, Ideal{}); err == nil {
+		t.Fatal("zero-width core accepted")
+	}
 }
 
 func TestStallAttribution(t *testing.T) {
@@ -330,7 +350,7 @@ func TestStallAttribution(t *testing.T) {
 	}
 
 	// Branch stalls: mispredicted branches are attributed.
-	g := trace.NewGenerator(brSpec(), 2)
+	g := mustGen(t, brSpec(), 2)
 	c2 := newBig(t, flatMem{}, false, Ideal{ICache: true, DCache: true})
 	c2.AttachThread(g)
 	st2 := run(c2, 0, 20000)
@@ -342,7 +362,7 @@ func TestStallAttribution(t *testing.T) {
 	}
 
 	// Fetch stalls: cold I-cache attributed.
-	g3 := trace.NewGenerator(brSpec(), 3)
+	g3 := mustGen(t, brSpec(), 3)
 	c3 := newBig(t, flatMem{fetchLat: 10}, false, Ideal{Branch: true, DCache: true})
 	c3.AttachThread(g3)
 	st3 := run(c3, 0, 20000)

@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDisabledCheckPasses(t *testing.T) {
+	Reset()
+	for _, s := range Sites() {
+		if err := Check(s); err != nil {
+			t.Fatalf("disabled site %q returned %v", s, err)
+		}
+		if v := Corrupt(s, 1.5); v != 1.5 {
+			t.Fatalf("disabled Corrupt changed value to %g", v)
+		}
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SiteSolver, Injection{Mode: ModeError})
+	err := Check(SiteSolver)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed site returned %v, want ErrInjected", err)
+	}
+	// Other sites remain clean.
+	if err := Check(SiteProfiler); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if Triggered(SiteSolver) != 1 {
+		t.Fatalf("trigger count %d, want 1", Triggered(SiteSolver))
+	}
+	Disable(SiteSolver)
+	if err := Check(SiteSolver); err != nil {
+		t.Fatalf("disabled site still fires: %v", err)
+	}
+	if Triggered(SiteSolver) != 1 {
+		t.Fatal("Disable cleared the trigger count; only Reset should")
+	}
+}
+
+func TestCountLimitedSelfDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SiteWorker, Injection{Mode: ModeError, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Check(SiteWorker); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: %v", i, err)
+		}
+	}
+	if err := Check(SiteWorker); err != nil {
+		t.Fatalf("site fired beyond its count: %v", err)
+	}
+	if Triggered(SiteWorker) != 2 {
+		t.Fatalf("triggered %d, want 2", Triggered(SiteWorker))
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SiteHandler, Injection{Mode: ModePanic, Count: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("armed panic site did not panic")
+			}
+		}()
+		Check(SiteHandler)
+	}()
+	if err := Check(SiteHandler); err != nil {
+		t.Fatalf("panic site did not disarm after count: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SiteProfiler, Injection{Mode: ModeLatency, Latency: 20 * time.Millisecond, Count: 1})
+	start := time.Now()
+	if err := Check(SiteProfiler); err != nil {
+		t.Fatalf("latency mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency injection slept only %v", d)
+	}
+}
+
+func TestNaNCorruption(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SiteSolver, Injection{Mode: ModeNaN, Count: 1})
+	// Check must not consume a NaN arming: the value path owns it.
+	if err := Check(SiteSolver); err != nil {
+		t.Fatalf("Check consumed/failed on a NaN arming: %v", err)
+	}
+	if v := Corrupt(SiteSolver, 42); !math.IsNaN(v) {
+		t.Fatalf("Corrupt returned %g, want NaN", v)
+	}
+	if v := Corrupt(SiteSolver, 42); v != 42 {
+		t.Fatalf("NaN injection did not disarm after count: %g", v)
+	}
+}
+
+func TestCorruptIgnoresOtherModes(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SiteSolver, Injection{Mode: ModeError, Count: 1})
+	if v := Corrupt(SiteSolver, 7); v != 7 {
+		t.Fatalf("Corrupt fired on an error arming: %g", v)
+	}
+	// The error arming must still be intact for Check.
+	if err := Check(SiteSolver); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Corrupt consumed the error arming: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ParseSpec("solver=error,profiler=latency:50ms,handler=panic:3, memo=nan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(SiteSolver); !errors.Is(err, ErrInjected) {
+		t.Fatalf("spec did not arm solver: %v", err)
+	}
+	if v := Corrupt(SiteMemo, 1); !math.IsNaN(v) {
+		t.Fatal("spec did not arm memo NaN")
+	}
+	Reset()
+
+	for _, bad := range []string{
+		"bogus=error",         // unknown site
+		"solver",              // no mode
+		"solver=explode",      // unknown mode
+		"solver=latency",      // latency without duration
+		"solver=latency:soon", // bad duration
+		"solver=error:zero",   // bad count
+		"solver=error:-1",     // non-positive count
+		"solver=panic:0",      // zero count
+	} {
+		if err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+		Reset()
+	}
+
+	if err := ParseSpec("  "); err != nil {
+		t.Fatalf("blank spec rejected: %v", err)
+	}
+}

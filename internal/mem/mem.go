@@ -5,7 +5,13 @@
 // helpers to estimate average latency under load.
 package mem
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is wrapped by every memory-configuration validation failure.
+var ErrBadConfig = errors.New("mem: invalid configuration")
 
 // Config describes the memory system.
 type Config struct {
@@ -20,8 +26,15 @@ type Config struct {
 	BlockBytes int
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors; every failure wraps ErrBadConfig.
 func (c Config) Validate() error {
+	if err := c.validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+func (c Config) validate() error {
 	if c.Banks <= 0 {
 		return fmt.Errorf("mem: banks must be positive, got %d", c.Banks)
 	}
@@ -68,13 +81,13 @@ type DRAM struct {
 	Stats Stats
 }
 
-// New builds the DRAM model. It panics on invalid configuration, since
-// configurations are static data validated in tests.
-func New(cfg Config) *DRAM {
+// New builds the DRAM model. An invalid configuration fails with an error
+// wrapping ErrBadConfig instead of panicking.
+func New(cfg Config) (*DRAM, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &DRAM{cfg: cfg, bankFree: make([]uint64, cfg.Banks)}
+	return &DRAM{cfg: cfg, bankFree: make([]uint64, cfg.Banks)}, nil
 }
 
 // Config returns the memory configuration.

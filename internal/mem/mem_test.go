@@ -9,6 +9,15 @@ func testConfig() Config {
 	return Config{Banks: 8, AccessTimeCycles: 120, BusBandwidthBytesPerCycle: 3.0, BlockBytes: 64}
 }
 
+func mustNew(t *testing.T, cfg Config) *DRAM {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return d
+}
+
 func TestValidate(t *testing.T) {
 	if err := testConfig().Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
@@ -27,7 +36,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestUncontendedLatency(t *testing.T) {
-	d := New(testConfig())
+	d := mustNew(t, testConfig())
 	ready := d.Access(0, 1000)
 	// One access: bus transfer starts immediately, bank takes 120 cycles.
 	lat := ready - 1000
@@ -40,7 +49,7 @@ func TestUncontendedLatency(t *testing.T) {
 }
 
 func TestSameBankSerializes(t *testing.T) {
-	d := New(testConfig())
+	d := mustNew(t, testConfig())
 	// Two accesses to the same bank at the same time: the second waits.
 	r1 := d.Access(0, 0)
 	r2 := d.Access(8*64, 0) // same bank (banks=8, block index 8 ≡ 0 mod 8)
@@ -50,7 +59,7 @@ func TestSameBankSerializes(t *testing.T) {
 }
 
 func TestDifferentBanksOverlap(t *testing.T) {
-	d := New(testConfig())
+	d := mustNew(t, testConfig())
 	r1 := d.Access(0, 0)
 	r2 := d.Access(64, 0) // next block, different bank
 	// Only the bus transfer (~21 cycles) separates them, not a full access.
@@ -60,7 +69,7 @@ func TestDifferentBanksOverlap(t *testing.T) {
 }
 
 func TestBusOccupancyAccumulates(t *testing.T) {
-	d := New(testConfig())
+	d := mustNew(t, testConfig())
 	now := uint64(0)
 	var last uint64
 	for i := 0; i < 32; i++ {
@@ -126,7 +135,7 @@ func TestAvgLatencyStats(t *testing.T) {
 
 func TestAccessMonotonicProperty(t *testing.T) {
 	// Property: ready time is always at least now + access time.
-	d := New(testConfig())
+	d := mustNew(t, testConfig())
 	f := func(addr uint64, delta uint16) bool {
 		now := uint64(delta)
 		ready := d.Access(addr, now)
@@ -138,7 +147,7 @@ func TestAccessMonotonicProperty(t *testing.T) {
 }
 
 func TestWritebackConsumesBandwidth(t *testing.T) {
-	d := New(testConfig())
+	d := mustNew(t, testConfig())
 	d.Writeback(0, 0)
 	if d.Stats.Writebacks != 1 {
 		t.Fatalf("writebacks %d", d.Stats.Writebacks)

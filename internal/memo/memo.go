@@ -27,9 +27,34 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"smtflex/internal/faults"
 )
+
+// ErrComputePanic is the sentinel wrapped by errors produced when a compute
+// function panics. The panic is contained at the cache boundary: waiters
+// receive this error, the entry is not cached (a later caller retries), and
+// no goroutine deadlocks on a done channel that would never close.
+var ErrComputePanic = errors.New("memo: compute panicked")
+
+// protect runs compute, converting a panic into an error wrapping
+// ErrComputePanic (with the stack) and applying the memo fault-injection
+// site first.
+func protect[V any](compute func() (V, error)) (val V, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrComputePanic, r, debug.Stack())
+		}
+	}()
+	if err = faults.Check(faults.SiteMemo); err != nil {
+		return val, err
+	}
+	return compute()
+}
 
 // entry is one in-flight or completed computation. done is closed once val
 // and err are final.
@@ -139,7 +164,7 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	c.m[key] = e
 	c.mu.Unlock()
 
-	e.val, e.err = compute()
+	e.val, e.err = protect(compute)
 	c.mu.Lock()
 	if e.err != nil {
 		// Leave failures uncached so the next caller can retry.
@@ -197,7 +222,7 @@ func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, compute func(context.Co
 			c.m[key] = e
 			c.mu.Unlock()
 			go func() {
-				val, err := compute(cctx)
+				val, err := protect(func() (V, error) { return compute(cctx) })
 				cancel()
 				c.mu.Lock()
 				e.val, e.err = val, err

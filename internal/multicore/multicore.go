@@ -109,20 +109,39 @@ func New(d config.Design, ideal cpu.Ideal) (*Chip, error) {
 		BlockBytes:    isa.MemBlockSize,
 		LatencyCycles: d.LLC.LatencyCycles,
 	}
+	llc, err := cache.New(llcCfg)
+	if err != nil {
+		return nil, fmt.Errorf("multicore: design %s: %w", d.Name, err)
+	}
+	dram, err := mem.New(config.MemConfig(d.MemBandwidthGBps))
+	if err != nil {
+		return nil, fmt.Errorf("multicore: design %s: %w", d.Name, err)
+	}
 	c := &Chip{
 		design: d,
-		llc:    cache.New(llcCfg),
-		dram:   mem.New(config.MemConfig(d.MemBandwidthGBps)),
+		llc:    llc,
+		dram:   dram,
 	}
 	for i, cc := range d.Cores {
-		cm := &coreMem{
-			chip: c,
-			l1i:  cache.New(cc.L1I),
-			l1d:  cache.New(cc.L1D),
-			l2:   cache.New(cc.L2),
+		l1i, err := cache.New(cc.L1I)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: design %s core %d: %w", d.Name, i, err)
+		}
+		l1d, err := cache.New(cc.L1D)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: design %s core %d: %w", d.Name, i, err)
+		}
+		l2, err := cache.New(cc.L2)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: design %s core %d: %w", d.Name, i, err)
+		}
+		cm := &coreMem{chip: c, l1i: l1i, l1d: l1d, l2: l2}
+		core, err := cpu.NewCore(cc, i, cm, d.SMTEnabled, ideal)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: design %s: %w", d.Name, err)
 		}
 		c.mems = append(c.mems, cm)
-		c.cores = append(c.cores, cpu.NewCore(cc, i, cm, d.SMTEnabled, ideal))
+		c.cores = append(c.cores, core)
 	}
 	return c, nil
 }

@@ -32,7 +32,11 @@ func generator(t *testing.T, bench string, seed uint64) *trace.Generator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return trace.NewGenerator(spec, seed)
+	g, err := trace.NewGenerator(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
 }
 
 func TestNewRejectsInvalidDesign(t *testing.T) {

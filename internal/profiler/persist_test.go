@@ -13,8 +13,8 @@ import (
 
 func TestSaveLoadRoundtrip(t *testing.T) {
 	src := source()
-	orig := src.Profile(spec(t, "tonto"), config.Big)
-	origSmall := src.Profile(spec(t, "mcf"), config.Small)
+	orig := mustProfile(t, src, spec(t, "tonto"), config.Big)
+	origSmall := mustProfile(t, src, spec(t, "mcf"), config.Small)
 
 	var buf bytes.Buffer
 	if err := src.SaveJSON(&buf); err != nil {
@@ -29,11 +29,11 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 	if n < 2 {
 		t.Fatalf("loaded %d profiles", n)
 	}
-	got := fresh.Profile(spec(t, "tonto"), config.Big)
+	got := mustProfile(t, fresh, spec(t, "tonto"), config.Big)
 	if !reflect.DeepEqual(*got, *orig) {
 		t.Fatal("tonto profile did not survive the roundtrip")
 	}
-	gotSmall := fresh.Profile(spec(t, "mcf"), config.Small)
+	gotSmall := mustProfile(t, fresh, spec(t, "mcf"), config.Small)
 	if !reflect.DeepEqual(*gotSmall, *origSmall) {
 		t.Fatal("mcf profile did not survive the roundtrip")
 	}
@@ -41,7 +41,7 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 
 func TestSaveJSONFileAtomic(t *testing.T) {
 	src := source()
-	orig := src.Profile(spec(t, "tonto"), config.Big)
+	orig := mustProfile(t, src, spec(t, "tonto"), config.Big)
 
 	dir := t.TempDir()
 	path := filepath.Join(dir, "profiles.json")
@@ -71,7 +71,7 @@ func TestSaveJSONFileAtomic(t *testing.T) {
 	if _, err := fresh.LoadJSONFile(path); err != nil {
 		t.Fatal(err)
 	}
-	got := fresh.Profile(spec(t, "tonto"), config.Big)
+	got := mustProfile(t, fresh, spec(t, "tonto"), config.Big)
 	if !reflect.DeepEqual(*got, *orig) {
 		t.Fatal("profile did not survive the file roundtrip")
 	}

@@ -12,12 +12,14 @@
 package profiler
 
 import (
+	"fmt"
 	"sort"
 	"sync/atomic"
 
 	"smtflex/internal/cache"
 	"smtflex/internal/config"
 	"smtflex/internal/cpu"
+	"smtflex/internal/faults"
 	"smtflex/internal/interval"
 	"smtflex/internal/isa"
 	"smtflex/internal/mem"
@@ -111,27 +113,29 @@ func NewSource(uopCount uint64) *Source {
 
 // Profile returns the (cached) profile of spec on core type ct. Concurrent
 // calls for the same (benchmark, core type) measure once; the callers that
-// lose the race block and share the winner's profile.
-func (s *Source) Profile(spec trace.Spec, ct config.CoreType) *interval.Profile {
-	p, _ := s.profiles.Get(profileKey{bench: spec.Name, core: ct}, func() (*interval.Profile, error) {
-		return s.measure(spec, ct), nil
+// lose the race block and share the winner's profile. A failed measurement is
+// not cached: a later call retries it.
+func (s *Source) Profile(spec trace.Spec, ct config.CoreType) (*interval.Profile, error) {
+	return s.profiles.Get(profileKey{bench: spec.Name, core: ct}, func() (*interval.Profile, error) {
+		return s.measure(spec, ct)
 	})
-	return p
 }
 
 // curvesFor computes (or returns cached) reuse curves for the benchmark,
 // with the same duplicate suppression as Profile.
-func (s *Source) curvesFor(spec trace.Spec) *curvePair {
-	c, _ := s.curves.Get(spec.Name, func() (*curvePair, error) {
-		return s.measureCurves(spec), nil
+func (s *Source) curvesFor(spec trace.Spec) (*curvePair, error) {
+	return s.curves.Get(spec.Name, func() (*curvePair, error) {
+		return s.measureCurves(spec)
 	})
-	return c
 }
 
 // measureCurves runs the stack-distance pass behind curvesFor's cache.
-func (s *Source) measureCurves(spec trace.Spec) *curvePair {
+func (s *Source) measureCurves(spec trace.Spec) (*curvePair, error) {
 	s.curveRuns.Add(1)
-	g := trace.NewGenerator(spec, profileSeed)
+	g, err := trace.NewGenerator(spec, profileSeed)
+	if err != nil {
+		return nil, err
+	}
 	dataProf := cache.NewStackProfiler(maxCurveDist)
 	codeProf := cache.NewStackProfiler(maxCurveDist)
 	var dataAccesses, iBlocks uint64
@@ -160,7 +164,7 @@ func (s *Source) measureCurves(spec trace.Spec) *curvePair {
 		code:       codeProf.MissRatioCurve(codeSnap, curveCapacities),
 		dataAPKU:   float64(dataAccesses) / kilo,
 		iBlockAPKU: float64(iBlocks) / kilo,
-	}
+	}, nil
 }
 
 // measured holds the warm-window measurement of one run.
@@ -172,7 +176,7 @@ type measured struct {
 
 // runOnce simulates spec alone on a single core with configuration cc and
 // the given ideal flags, discarding a warmup window before measuring.
-func (s *Source) runOnce(spec trace.Spec, cc config.Core, ideal cpu.Ideal) measured {
+func (s *Source) runOnce(spec trace.Spec, cc config.Core, ideal cpu.Ideal) (measured, error) {
 	d := config.Design{Name: "profiling", SMTEnabled: false, MemBandwidthGBps: 8}
 	d.Cores = []config.Core{cc}
 	llc := config.LLCConfig()
@@ -182,12 +186,15 @@ func (s *Source) runOnce(spec trace.Spec, cc config.Core, ideal cpu.Ideal) measu
 
 	chip, err := multicore.New(d, ideal)
 	if err != nil {
-		panic(err)
+		return measured{}, err
 	}
-	g := trace.NewGenerator(spec, profileSeed)
+	g, err := trace.NewGenerator(spec, profileSeed)
+	if err != nil {
+		return measured{}, err
+	}
 	id, err := chip.AttachThread(0, g)
 	if err != nil {
-		panic(err)
+		return measured{}, err
 	}
 	chip.Run(s.Warmup)
 	warm := chip.ThreadStats(id)
@@ -204,13 +211,19 @@ func (s *Source) runOnce(spec trace.Spec, cc config.Core, ideal cpu.Ideal) measu
 	if fills := finalDram.Accesses - warmDram.Accesses; fills > 0 {
 		m.wbFraction = float64(finalDram.Writebacks-warmDram.Writebacks) / float64(fills)
 	}
-	return m
+	return m, nil
 }
 
-func (s *Source) measure(spec trace.Spec, ct config.CoreType) *interval.Profile {
+func (s *Source) measure(spec trace.Spec, ct config.CoreType) (*interval.Profile, error) {
 	s.measureRuns.Add(1)
+	if err := faults.Check(faults.SiteProfiler); err != nil {
+		return nil, err
+	}
 	cc := config.CoreOfType(ct)
-	curves := s.curvesFor(spec)
+	curves, err := s.curvesFor(spec)
+	if err != nil {
+		return nil, err
+	}
 
 	p := &interval.Profile{
 		Benchmark:  spec.Name,
@@ -228,23 +241,35 @@ func (s *Source) measure(spec trace.Spec, ct config.CoreType) *interval.Profile 
 		if cc.OutOfOrder {
 			wcc.ROBSize = w
 		}
-		st := s.runOnce(spec, wcc, allIdeal)
+		st, err := s.runOnce(spec, wcc, allIdeal)
+		if err != nil {
+			return nil, err
+		}
 		p.BaseWindows = append(p.BaseWindows, w)
 		p.BaseCPIs = append(p.BaseCPIs, st.cpi)
 	}
 	cpiA := p.BaseCPIs[len(p.BaseCPIs)-1] // full-window base CPI
 
 	// Real branches.
-	stB := s.runOnce(spec, cc, cpu.Ideal{ICache: true, DCache: true})
+	stB, err := s.runOnce(spec, cc, cpu.Ideal{ICache: true, DCache: true})
+	if err != nil {
+		return nil, err
+	}
 	p.BrCPI = clampNonNeg(stB.cpi - cpiA)
 	p.BrMPKU = stB.mispredicts * 1000
 
 	// Real I-cache.
-	stC := s.runOnce(spec, cc, cpu.Ideal{DCache: true})
+	stC, err := s.runOnce(spec, cc, cpu.Ideal{DCache: true})
+	if err != nil {
+		return nil, err
+	}
 	p.L1ICPI = clampNonNeg(stC.cpi - stB.cpi)
 
 	// Real data hierarchy.
-	stD := s.runOnce(spec, cc, cpu.Ideal{})
+	stD, err := s.runOnce(spec, cc, cpu.Ideal{})
+	if err != nil {
+		return nil, err
+	}
 	memCPI := clampNonNeg(stD.cpi - stC.cpi)
 	p.BaselineMemCPI = memCPI
 	p.WritebackFraction = stD.wbFraction
@@ -275,7 +300,10 @@ func (s *Source) measure(spec trace.Spec, ct config.CoreType) *interval.Profile 
 		wmin := interval.Partition(cc, cc.SMTContexts)
 		wcc := cc
 		wcc.ROBSize = wmin
-		stDmin := s.runOnce(spec, wcc, cpu.Ideal{})
+		stDmin, err := s.runOnce(spec, wcc, cpu.Ideal{})
+		if err != nil {
+			return nil, err
+		}
 		memCPImin := clampNonNeg(stDmin.cpi - p.BaseCPI(wmin) - p.BrCPI - p.L1ICPI - p.MemConstCPI)
 		p.VisibleMinWindow = wmin
 		p.VisibleMin = p.Visible
@@ -291,9 +319,9 @@ func (s *Source) measure(spec trace.Spec, ct config.CoreType) *interval.Profile 
 		}
 	}
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("profiler: %s on %s: %w", spec.Name, ct, err)
 	}
-	return p
+	return p, nil
 }
 
 // rawMemCost evaluates the un-calibrated (visible=1) memory CPI of p on cc.

@@ -29,6 +29,15 @@ func spec(t *testing.T, name string) trace.Spec {
 	return s
 }
 
+func mustProfile(t *testing.T, s *Source, sp trace.Spec, ct config.CoreType) *interval.Profile {
+	t.Helper()
+	p, err := s.Profile(sp, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestProfileConcurrentMissesMeasureOnce(t *testing.T) {
 	// Regression: the old check-then-compute cache let N concurrent misses
 	// for the same key each run the full measurement. With singleflight
@@ -42,7 +51,11 @@ func TestProfileConcurrentMissesMeasureOnce(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			profiles[g] = s.Profile(sp, config.Big)
+			p, err := s.Profile(sp, config.Big)
+			if err != nil {
+				t.Error(err)
+			}
+			profiles[g] = p
 		}(g)
 	}
 	wg.Wait()
@@ -67,11 +80,11 @@ func TestProfileConcurrentMissesMeasureOnce(t *testing.T) {
 
 func TestProfileValidAndCached(t *testing.T) {
 	s := source()
-	p1 := s.Profile(spec(t, "tonto"), config.Big)
+	p1 := mustProfile(t, s, spec(t, "tonto"), config.Big)
 	if err := p1.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	p2 := s.Profile(spec(t, "tonto"), config.Big)
+	p2 := mustProfile(t, s, spec(t, "tonto"), config.Big)
 	if p1 != p2 {
 		t.Fatal("profile not cached (pointer identity expected)")
 	}
@@ -79,7 +92,7 @@ func TestProfileValidAndCached(t *testing.T) {
 
 func TestBaseCPIWindowMonotone(t *testing.T) {
 	// Base CPI never improves when the window shrinks.
-	p := source().Profile(spec(t, "calculix"), config.Big)
+	p := mustProfile(t, source(), spec(t, "calculix"), config.Big)
 	for i := 1; i < len(p.BaseCPIs); i++ {
 		if p.BaseCPIs[i] > p.BaseCPIs[i-1]+1e-9 {
 			t.Fatalf("base CPI increased with window: %v @ %v", p.BaseCPIs, p.BaseWindows)
@@ -91,7 +104,7 @@ func TestBaseCPIWindowMonotone(t *testing.T) {
 }
 
 func TestInOrderSingleWindow(t *testing.T) {
-	p := source().Profile(spec(t, "hmmer"), config.Small)
+	p := mustProfile(t, source(), spec(t, "hmmer"), config.Small)
 	if len(p.BaseWindows) != 1 {
 		t.Fatalf("in-order core has %d windows", len(p.BaseWindows))
 	}
@@ -103,7 +116,7 @@ func TestInOrderSingleWindow(t *testing.T) {
 func TestVisibleBounds(t *testing.T) {
 	for _, name := range []string{"tonto", "mcf", "libquantum"} {
 		for _, ct := range []config.CoreType{config.Big, config.Medium, config.Small} {
-			p := source().Profile(spec(t, name), ct)
+			p := mustProfile(t, source(), spec(t, name), ct)
 			if p.Visible < 0 || p.Visible > 1 {
 				t.Errorf("%s/%v: visible %g outside [0,1]", name, ct, p.Visible)
 			}
@@ -120,8 +133,8 @@ func TestVisibleBounds(t *testing.T) {
 
 func TestMemoryBoundVsComputeBound(t *testing.T) {
 	s := source()
-	mcf := s.Profile(spec(t, "mcf"), config.Big)
-	tonto := s.Profile(spec(t, "tonto"), config.Big)
+	mcf := mustProfile(t, s, spec(t, "mcf"), config.Big)
+	tonto := mustProfile(t, s, spec(t, "tonto"), config.Big)
 	if mcf.BaselineMemCPI < 5*tonto.BaselineMemCPI {
 		t.Fatalf("mcf (%.2f) should be far more memory bound than tonto (%.2f)",
 			mcf.BaselineMemCPI, tonto.BaselineMemCPI)
@@ -134,8 +147,8 @@ func TestMemoryBoundVsComputeBound(t *testing.T) {
 
 func TestBranchyBenchmarkHasBranchCPI(t *testing.T) {
 	s := source()
-	gobmk := s.Profile(spec(t, "gobmk"), config.Big)
-	libq := s.Profile(spec(t, "libquantum"), config.Big)
+	gobmk := mustProfile(t, s, spec(t, "gobmk"), config.Big)
+	libq := mustProfile(t, s, spec(t, "libquantum"), config.Big)
 	if gobmk.BrCPI < 5*libq.BrCPI {
 		t.Fatalf("gobmk branch CPI %.3f should dwarf libquantum's %.3f",
 			gobmk.BrCPI, libq.BrCPI)
@@ -148,8 +161,8 @@ func TestBranchyBenchmarkHasBranchCPI(t *testing.T) {
 func TestCurvesSharedAcrossCoreTypes(t *testing.T) {
 	// The reuse curves are a property of the benchmark, not the core.
 	s := source()
-	big := s.Profile(spec(t, "soplex"), config.Big)
-	small := s.Profile(spec(t, "soplex"), config.Small)
+	big := mustProfile(t, s, spec(t, "soplex"), config.Big)
+	small := mustProfile(t, s, spec(t, "soplex"), config.Small)
 	if len(big.DCurve.Ratios) != len(small.DCurve.Ratios) {
 		t.Fatal("curve lengths differ")
 	}
@@ -168,7 +181,7 @@ func TestBigCoreFasterThanSmall(t *testing.T) {
 		sp := spec(t, name)
 		var cpis [3]float64
 		for i, ct := range []config.CoreType{config.Big, config.Medium, config.Small} {
-			p := s.Profile(sp, ct)
+			p := mustProfile(t, s, sp, ct)
 			cc := config.CoreOfType(ct)
 			cpis[i] = p.Evaluate(cc, fullWindow(cc), baselineShares(cc)).Total()
 		}
@@ -184,7 +197,7 @@ func TestCalibrationReproducesMeasuredCPI(t *testing.T) {
 	// cycle-engine memory CPI (that is the definition of Visible).
 	s := source()
 	for _, name := range []string{"bzip2", "soplex", "gcc"} {
-		p := s.Profile(spec(t, name), config.Big)
+		p := mustProfile(t, s, spec(t, name), config.Big)
 		cc := config.BigCore()
 		st := p.Evaluate(cc, fullWindow(cc), baselineShares(cc))
 		memModel := st.L2 + st.LLC + st.Mem
@@ -211,7 +224,7 @@ func TestWritebackFractionBounded(t *testing.T) {
 	// store-heavy DRAM-bound benchmarks, which the multicore tests verify
 	// at the mechanism level.
 	for _, name := range []string{"mcf", "hmmer", "libquantum"} {
-		p := source().Profile(spec(t, name), config.Big)
+		p := mustProfile(t, source(), spec(t, name), config.Big)
 		if p.WritebackFraction < 0 || p.WritebackFraction > 1.5 {
 			t.Fatalf("%s writeback fraction %g out of bounds", name, p.WritebackFraction)
 		}

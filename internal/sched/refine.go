@@ -140,7 +140,11 @@ func profilesByType(d config.Design, mix workload.Mix, src ProfileSource) ([]map
 		out[i] = make(map[config.CoreType]*interval.Profile)
 		for _, cc := range d.Cores {
 			if _, ok := out[i][cc.Type]; !ok {
-				out[i][cc.Type] = src.Profile(spec, cc.Type)
+				p, err := src.Profile(spec, cc.Type)
+				if err != nil {
+					return nil, err
+				}
+				out[i][cc.Type] = p
 			}
 		}
 	}

@@ -17,9 +17,10 @@ import (
 )
 
 // ProfileSource provides benchmark profiles per core type; package profiler
-// implements it.
+// implements it. A failed measurement reports an error instead of a profile;
+// the scheduler propagates it to the caller.
 type ProfileSource interface {
-	Profile(spec trace.Spec, ct config.CoreType) *interval.Profile
+	Profile(spec trace.Spec, ct config.CoreType) (*interval.Profile, error)
 }
 
 // soloIPC estimates a thread's isolated IPC on core cc with a full window
@@ -74,7 +75,11 @@ func Place(d config.Design, mix workload.Mix, src ProfileSource) (contention.Pla
 	for i := range prof {
 		prof[i] = make(map[config.CoreType]*interval.Profile)
 		for t := range types {
-			prof[i][t] = src.Profile(specs[i], t)
+			p, err := src.Profile(specs[i], t)
+			if err != nil {
+				return contention.Placement{}, fmt.Errorf("sched: profiling %s on %s: %w", specs[i].Name, t, err)
+			}
+			prof[i][t] = p
 		}
 	}
 

@@ -29,6 +29,17 @@ type SweepResponse struct {
 	Watts    []float64   `json:"watts"`
 	MixNames []string    `json:"mix_names"`
 	ByMix    [][]float64 `json:"by_mix"`
+	// Solver summarizes the contention solver's convergence diagnostics over
+	// every evaluation in the sweep: the worst-case iteration count and final
+	// residual, and whether every solve terminated by convergence.
+	Solver SolverDiag `json:"solver"`
+}
+
+// SolverDiag is the wire form of the solver's convergence diagnostics.
+type SolverDiag struct {
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+	Converged  bool    `json:"converged"`
 }
 
 // PlaceRequest asks for a single scheduling query: place the given programs
@@ -44,12 +55,13 @@ type PlaceRequest struct {
 type PlaceResponse struct {
 	Design string `json:"design"`
 	// CoreOf[i] is the core index thread i was assigned to.
-	CoreOf         []int   `json:"core_of"`
-	STP            float64 `json:"stp"`
-	ANTT           float64 `json:"antt"`
-	Watts          float64 `json:"watts"`
-	WattsUngated   float64 `json:"watts_ungated"`
-	BusUtilization float64 `json:"bus_utilization"`
+	CoreOf         []int      `json:"core_of"`
+	STP            float64    `json:"stp"`
+	ANTT           float64    `json:"antt"`
+	Watts          float64    `json:"watts"`
+	WattsUngated   float64    `json:"watts_ungated"`
+	BusUtilization float64    `json:"bus_utilization"`
+	Solver         SolverDiag `json:"solver"`
 }
 
 // JobsimRequest runs the dynamic job-stream scenario on each named design.

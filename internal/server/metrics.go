@@ -17,6 +17,8 @@ type metrics struct {
 	requests map[routeCode]int64
 	hist     map[string]*histogram
 	rejected int64
+	panics   int64
+	failures map[string]int64 // engine failures by kind
 }
 
 type routeCode struct {
@@ -40,6 +42,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[routeCode]int64),
 		hist:     make(map[string]*histogram),
+		failures: make(map[string]int64),
 	}
 }
 
@@ -64,6 +67,21 @@ func (m *metrics) observe(route string, code int, d time.Duration) {
 func (m *metrics) reject() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// panicked records one handler panic contained by the recover middleware.
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// failure records one engine failure by kind (panic, injected, diverged,
+// not_converged, config, trace).
+func (m *metrics) failure(kind string) {
+	m.mu.Lock()
+	m.failures[kind]++
 	m.mu.Unlock()
 }
 
@@ -98,6 +116,21 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 	fmt.Fprintf(w, "# HELP smtflexd_rejected_total Requests shed by admission control (queue full).\n")
 	fmt.Fprintf(w, "# TYPE smtflexd_rejected_total counter\n")
 	fmt.Fprintf(w, "smtflexd_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintf(w, "# HELP smtflexd_panics_total Handler panics contained by the recover middleware.\n")
+	fmt.Fprintf(w, "# TYPE smtflexd_panics_total counter\n")
+	fmt.Fprintf(w, "smtflexd_panics_total %d\n", m.panics)
+
+	kinds := make([]string, 0, len(m.failures))
+	for k := range m.failures {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "# HELP smtflexd_engine_failures_total Engine failures surfaced to clients, by kind.\n")
+	fmt.Fprintf(w, "# TYPE smtflexd_engine_failures_total counter\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "smtflexd_engine_failures_total{kind=%q} %d\n", k, m.failures[k])
+	}
 
 	routes := make([]string, 0, len(m.hist))
 	for r := range m.hist {

@@ -33,14 +33,21 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
+	"smtflex/internal/cache"
 	"smtflex/internal/config"
+	"smtflex/internal/contention"
 	"smtflex/internal/core"
+	"smtflex/internal/faults"
+	"smtflex/internal/mem"
+	"smtflex/internal/memo"
 	"smtflex/internal/sched"
 	"smtflex/internal/study"
 	"smtflex/internal/timeline"
+	"smtflex/internal/trace"
 	"smtflex/internal/workload"
 )
 
@@ -143,7 +150,10 @@ func badRequest(format string, args ...any) error {
 // request"; the response never reaches anyone, but the metrics and logs do.
 const statusClientClosed = 499
 
-// statusOf maps a handler error to an HTTP status.
+// statusOf maps a handler error to an HTTP status, classifying the engine's
+// typed errors: invalid inputs are the client's fault (400), a solve that
+// could not converge is a well-formed request the engine cannot satisfy
+// (422), and contained panics or injected faults are server errors (500).
 func statusOf(err error) int {
 	var he *httpError
 	switch {
@@ -153,8 +163,37 @@ func statusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return statusClientClosed
+	case errors.Is(err, config.ErrBadConfig), errors.Is(err, cache.ErrBadConfig),
+		errors.Is(err, mem.ErrBadConfig), errors.Is(err, trace.ErrBadTrace):
+		return http.StatusBadRequest
+	case errors.Is(err, contention.ErrNotConverged), errors.Is(err, contention.ErrDiverged):
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// failureKind labels an engine failure for the smtflexd_engine_failures_total
+// metric; empty means the error is not an engine failure (client errors,
+// cancellations).
+func failureKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, study.ErrWorkerPanic), errors.Is(err, memo.ErrComputePanic):
+		return "panic"
+	case errors.Is(err, faults.ErrInjected):
+		return "injected"
+	case errors.Is(err, contention.ErrDiverged):
+		return "diverged"
+	case errors.Is(err, contention.ErrNotConverged):
+		return "not_converged"
+	case errors.Is(err, config.ErrBadConfig), errors.Is(err, cache.ErrBadConfig), errors.Is(err, mem.ErrBadConfig):
+		return "config"
+	case errors.Is(err, trace.ErrBadTrace):
+		return "trace"
+	default:
+		return ""
 	}
 }
 
@@ -186,9 +225,27 @@ func (s *Server) endpoint(route string, fn handlerFunc) http.Handler {
 
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		res, err := fn(ctx, r)
+		res, err := s.safely(ctx, fn, r)
 		s.finish(w, r, route, start, wait, res, err)
 	})
+}
+
+// safely runs a handler with the handler fault-injection site applied and
+// any panic contained: the panic is logged with its stack, counted in
+// smtflexd_panics_total, and turned into a plain 500 — one berserk request
+// must never take the daemon down.
+func (s *Server) safely(ctx context.Context, fn handlerFunc, r *http.Request) (res any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panicked()
+			s.log.Error("handler panic", "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+			res, err = nil, &httpError{http.StatusInternalServerError, fmt.Sprintf("internal error: handler panicked: %v", rec)}
+		}
+	}()
+	if err := faults.Check(faults.SiteHandler); err != nil {
+		return nil, err
+	}
+	return fn(ctx, r)
 }
 
 // requestTimeout resolves the request deadline: ?timeout_ms= if given
@@ -215,6 +272,9 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, route string, st
 	code := http.StatusOK
 	if err != nil {
 		code = statusOf(err)
+		if kind := failureKind(err); kind != "" {
+			s.met.failure(kind)
+		}
 		writeJSON(w, code, ErrorResponse{Error: err.Error()})
 	} else {
 		writeJSON(w, code, res)
@@ -325,6 +385,11 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) (any, error) 
 	for i := range sw.ByMix {
 		resp.ByMix[i] = append([]float64(nil), sw.ByMix[i][:]...)
 	}
+	resp.Solver = SolverDiag{
+		Iterations: sw.SolverIterations,
+		Residual:   sw.SolverResidual,
+		Converged:  sw.SolverConverged,
+	}
 	return resp, nil
 }
 
@@ -368,6 +433,11 @@ func (s *Server) handlePlace(ctx context.Context, r *http.Request) (any, error) 
 		Watts:          res.Watts,
 		WattsUngated:   res.WattsUngated,
 		BusUtilization: res.BusUtilization,
+		Solver: SolverDiag{
+			Iterations: res.Diag.Iterations,
+			Residual:   res.Diag.Residual,
+			Converged:  res.Diag.Converged,
+		},
 	}, nil
 }
 

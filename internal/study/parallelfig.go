@@ -16,16 +16,16 @@ var parallelThreadCounts = []int{4, 8, 12, 16, 20, 24}
 // heteroParallelDesigns are the designs shown in Figures 11/12: the three
 // homogeneous designs plus the single-big-core heterogeneous designs (pinned
 // scheduling cannot exploit multiple big cores).
-func heteroParallelDesigns(smt bool) []config.Design {
+func heteroParallelDesigns(smt bool) ([]config.Design, error) {
 	out := []config.Design{}
 	for _, name := range []string{"4B", "8m", "20s", "1B6m", "1B15s"} {
 		d, err := config.DesignByName(name, smt)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, nil
 }
 
 // baselineKey caches the per-app baseline: four threads on 4B without SMT.
@@ -113,7 +113,15 @@ func (s *Study) parallelSpeedupTable(ctx context.Context, title string, designs 
 // Figure11 returns average multi-threaded speedups (versus four threads on
 // 4B) for the parallel designs, without and with SMT.
 func (s *Study) Figure11(ctx context.Context) (*Table, error) {
-	designs := append(heteroParallelDesigns(false), heteroParallelDesigns(true)...)
+	noSMT, err := heteroParallelDesigns(false)
+	if err != nil {
+		return nil, err
+	}
+	withSMT, err := heteroParallelDesigns(true)
+	if err != nil {
+		return nil, err
+	}
+	designs := append(noSMT, withSMT...)
 	return s.parallelSpeedupTable(ctx,
 		"Figure 11: average PARSEC-like speedup vs 4-thread 4B (ROI and whole program)", designs)
 }
@@ -121,7 +129,10 @@ func (s *Study) Figure11(ctx context.Context) (*Table, error) {
 // Figure12 returns per-application best speedups: apps × designs, for the
 // given phase ("ROI" or "whole"), with SMT enabled.
 func (s *Study) Figure12(ctx context.Context, phase string) (*Table, error) {
-	designs := heteroParallelDesigns(true)
+	designs, err := heteroParallelDesigns(true)
+	if err != nil {
+		return nil, err
+	}
 	names := make([]string, len(designs))
 	for i, d := range designs {
 		names[i] = d.Name
@@ -129,7 +140,7 @@ func (s *Study) Figure12(ctx context.Context, phase string) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 12: per-application speedup (%s, SMT designs)", phase),
 		parallel.AppNames(), names)
 	apps := parallel.AppNames()
-	err := runIndexed(ctx, s.workers(), len(designs)*len(apps), func(i int) error {
+	err = runIndexed(ctx, s.workers(), len(designs)*len(apps), func(i int) error {
 		c, r := i/len(apps), i%len(apps)
 		app, err := parallel.AppByName(apps[r])
 		if err != nil {
@@ -184,7 +195,11 @@ func (s *Study) Figure17a(ctx context.Context) (*Table, error) {
 func (s *Study) Figure17b(ctx context.Context) (*Table, error) {
 	var designs []config.Design
 	for _, smt := range []bool{false, true} {
-		for _, d := range heteroParallelDesigns(smt) {
+		ds, err := heteroParallelDesigns(smt)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
 			designs = append(designs, d.WithBandwidth(16))
 		}
 	}

@@ -2,10 +2,22 @@ package study
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"smtflex/internal/faults"
 )
+
+// ErrWorkerPanic is the sentinel wrapped by errors produced when an
+// evaluation handed to the worker pool panics. The panic is contained at the
+// pool boundary: the sweep fails with this error instead of unwinding the
+// whole process, so one bad evaluation cannot take down a daemon serving
+// other requests.
+var ErrWorkerPanic = errors.New("study: evaluation panicked")
 
 // The parallel experiment engine: every sweep and figure driver fans its
 // independent evaluations over a bounded worker pool and writes results into
@@ -48,7 +60,7 @@ func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := safeCall(i, fn); err != nil {
 				return err
 			}
 		}
@@ -86,7 +98,7 @@ func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error
 					record(i, err)
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := safeCall(i, fn); err != nil {
 					record(i, err)
 					return
 				}
@@ -95,4 +107,19 @@ func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// safeCall runs fn(i) with the worker fault-injection site applied and any
+// panic converted into an error wrapping ErrWorkerPanic, so both the serial
+// and the parallel engine contain evaluation panics identically.
+func safeCall(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: task %d: %v\n%s", ErrWorkerPanic, i, r, debug.Stack())
+		}
+	}()
+	if err := faults.Check(faults.SiteWorker); err != nil {
+		return fmt.Errorf("task %d: %w", i, err)
+	}
+	return fn(i)
 }

@@ -1,0 +1,89 @@
+package study
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"smtflex/internal/faults"
+)
+
+// Tests for panic containment at the worker-pool boundary: a panicking
+// evaluation must fail the run with ErrWorkerPanic in both the serial and the
+// parallel engine, without unwinding the caller.
+
+func TestRunIndexedContainsPanicSerial(t *testing.T) {
+	err := runIndexed(context.Background(), 1, 4, func(i int) error {
+		if i == 2 {
+			panic("task exploded")
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("got %v, want ErrWorkerPanic", err)
+	}
+	if !strings.Contains(err.Error(), "task 2") || !strings.Contains(err.Error(), "task exploded") {
+		t.Fatalf("panic context lost: %v", err)
+	}
+}
+
+func TestRunIndexedContainsPanicParallel(t *testing.T) {
+	var ran atomic.Int64
+	err := runIndexed(context.Background(), 4, 32, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			panic(i)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("got %v, want ErrWorkerPanic", err)
+	}
+	// The pool must have stopped early rather than draining all 32 tasks.
+	if n := ran.Load(); n == 32 {
+		t.Fatal("pool did not stop after a panicked task")
+	}
+}
+
+func TestRunIndexedPanicReportsLowestIndex(t *testing.T) {
+	// When several tasks panic, the reported index is the lowest observed —
+	// matching the serial engine's first failure.
+	err := runIndexed(context.Background(), 8, 8, func(i int) error {
+		panic(i)
+	})
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("got %v", err)
+	}
+	if !strings.Contains(err.Error(), "task 0") {
+		t.Fatalf("expected lowest task index in %v", err)
+	}
+}
+
+func TestWorkerErrorInjection(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	faults.Enable(faults.SiteWorker, faults.Injection{Mode: faults.ModeError, Count: 1})
+	err := runIndexed(context.Background(), 1, 3, func(i int) error { return nil })
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("got %v, want injected error", err)
+	}
+	// Disarmed: the next run completes.
+	if err := runIndexed(context.Background(), 1, 3, func(i int) error { return nil }); err != nil {
+		t.Fatalf("run after disarm: %v", err)
+	}
+}
+
+func TestWorkerPanicInjectionParallel(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	faults.Enable(faults.SiteWorker, faults.Injection{Mode: faults.ModePanic, Count: 1})
+	err := runIndexed(context.Background(), 4, 16, func(i int) error { return nil })
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("got %v, want ErrWorkerPanic", err)
+	}
+	if err := runIndexed(context.Background(), 4, 16, func(i int) error { return nil }); err != nil {
+		t.Fatalf("run after disarm: %v", err)
+	}
+}

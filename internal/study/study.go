@@ -127,10 +127,14 @@ func (s *Study) SoloRate(bench string) (float64, error) {
 			return 0, err
 		}
 		d := config.NewDesign("solo-big", 1, 0, 0, false)
+		prof, err := s.Src.Profile(spec, config.Big)
+		if err != nil {
+			return 0, err
+		}
 		p := contention.Placement{
 			Design:   d,
 			CoreOf:   []int{0},
-			Profiles: []*interval.Profile{s.Src.Profile(spec, config.Big)},
+			Profiles: []*interval.Profile{prof},
 		}
 		res, err := contention.Solve(p)
 		if err != nil {
@@ -152,6 +156,8 @@ type MixResult struct {
 	WattsUngated float64
 	// BusUtilization is off-chip bus utilization in [0,1].
 	BusUtilization float64
+	// Diag is the contention solver's convergence diagnostics for this mix.
+	Diag contention.Diagnostics
 }
 
 // EvaluateMix places and solves one mix on a design and computes metrics.
@@ -199,7 +205,8 @@ func (s *Study) EvaluateMix(d config.Design, mix workload.Mix) (MixResult, error
 	if err != nil {
 		return MixResult{}, err
 	}
-	return MixResult{STP: stp, ANTT: antt, Watts: watts, WattsUngated: ungated, BusUtilization: solved.BusUtilization}, nil
+	return MixResult{STP: stp, ANTT: antt, Watts: watts, WattsUngated: ungated,
+		BusUtilization: solved.BusUtilization, Diag: solved.Diag}, nil
 }
 
 // Sweep holds, for one design and workload kind, the per-thread-count
@@ -217,6 +224,14 @@ type Sweep struct {
 	MixNames []string
 	// ByMix[m][n-1] is the STP of mix m at n threads.
 	ByMix [][MaxThreads]float64
+	// SolverIterations is the largest iteration count any evaluation's
+	// contention solve needed, and SolverResidual the largest final residual —
+	// the sweep-level view of the solver's convergence diagnostics.
+	SolverIterations int
+	SolverResidual   float64
+	// SolverConverged reports whether every evaluation's solve terminated by
+	// convergence rather than by exhausting its iteration budget.
+	SolverConverged bool
 }
 
 // sweepKey identifies a sweep in the cache, including the model choices.
@@ -291,6 +306,7 @@ func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Swe
 		return nil, err
 	}
 
+	sw.SolverConverged = true
 	for n := 1; n <= MaxThreads; n++ {
 		stps := make([]float64, nMixes)
 		antts := make([]float64, nMixes)
@@ -301,6 +317,13 @@ func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Swe
 			antts[mi] = r.ANTT
 			watts[mi] = r.Watts
 			sw.ByMix[mi][n-1] = r.STP
+			if r.Diag.Iterations > sw.SolverIterations {
+				sw.SolverIterations = r.Diag.Iterations
+			}
+			if r.Diag.Residual > sw.SolverResidual {
+				sw.SolverResidual = r.Diag.Residual
+			}
+			sw.SolverConverged = sw.SolverConverged && r.Diag.Converged
 		}
 		h, err := metrics.HarmonicMean(stps)
 		if err != nil {

@@ -11,10 +11,16 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 
 	"smtflex/internal/isa"
 )
+
+// ErrBadTrace is wrapped by every spec-validation failure, so callers up the
+// stack (and the daemon's error mapper) can classify bad benchmark
+// descriptions without matching message strings.
+var ErrBadTrace = errors.New("trace: invalid benchmark spec")
 
 // MemStream describes one component of a benchmark's memory access mixture.
 type MemStream struct {
@@ -57,8 +63,16 @@ type Spec struct {
 	Seed uint64
 }
 
-// Validate reports structural problems in the Spec.
+// Validate reports structural problems in the Spec. Every failure wraps
+// ErrBadTrace.
 func (s Spec) Validate() error {
+	if err := s.validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return nil
+}
+
+func (s Spec) validate() error {
 	var sum float64
 	for _, f := range s.Mix {
 		if f < 0 {
@@ -151,11 +165,12 @@ type Generator struct {
 // the synthetic code layout.
 const codeBlockBytes = 32
 
-// NewGenerator builds a generator for spec. The spec must be valid; invalid
-// specs panic, since specs are static data covered by tests.
-func NewGenerator(spec Spec, seed uint64) *Generator {
+// NewGenerator builds a generator for spec. Invalid specs fail with an error
+// wrapping ErrBadTrace; a malformed benchmark description must fail the one
+// evaluation that references it, never the process.
+func NewGenerator(spec Spec, seed uint64) (*Generator, error) {
 	if err := spec.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	g := &Generator{spec: spec, seed: seed ^ spec.Seed}
 	var c float64
@@ -174,7 +189,7 @@ func NewGenerator(spec Spec, seed uint64) *Generator {
 		g.streamCDF[i] = acc
 	}
 	g.Reset()
-	return g
+	return g, nil
 }
 
 // Spec returns the generator's benchmark specification.

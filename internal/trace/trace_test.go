@@ -31,6 +31,15 @@ func testSpec() Spec {
 	}
 }
 
+func mustGen(t *testing.T, spec Spec, seed uint64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(spec, seed)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
 func TestSpecValidate(t *testing.T) {
 	if err := testSpec().Validate(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
@@ -68,8 +77,8 @@ func TestSpecValidate(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a := NewGenerator(testSpec(), 7)
-	b := NewGenerator(testSpec(), 7)
+	a := mustGen(t, testSpec(), 7)
+	b := mustGen(t, testSpec(), 7)
 	for i := 0; i < 10000; i++ {
 		ua, ub := a.Next(), b.Next()
 		if ua != ub {
@@ -79,8 +88,8 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestSeedsDiffer(t *testing.T) {
-	a := NewGenerator(testSpec(), 1)
-	b := NewGenerator(testSpec(), 2)
+	a := mustGen(t, testSpec(), 1)
+	b := mustGen(t, testSpec(), 2)
 	same := 0
 	for i := 0; i < 1000; i++ {
 		if a.Next() == b.Next() {
@@ -93,7 +102,7 @@ func TestSeedsDiffer(t *testing.T) {
 }
 
 func TestResetReproduces(t *testing.T) {
-	g := NewGenerator(testSpec(), 3)
+	g := mustGen(t, testSpec(), 3)
 	first := make([]isa.Uop, 1000)
 	for i := range first {
 		first[i] = g.Next()
@@ -111,7 +120,7 @@ func TestResetReproduces(t *testing.T) {
 
 func TestMixFractions(t *testing.T) {
 	spec := testSpec()
-	g := NewGenerator(spec, 11)
+	g := mustGen(t, spec, 11)
 	var counts [isa.NumClasses]int
 	const n = 200000
 	for i := 0; i < n; i++ {
@@ -127,7 +136,7 @@ func TestMixFractions(t *testing.T) {
 
 func TestDependencyDistanceMean(t *testing.T) {
 	spec := testSpec()
-	g := NewGenerator(spec, 13)
+	g := mustGen(t, spec, 13)
 	var sum, n float64
 	for i := 0; i < 100000; i++ {
 		u := g.Next()
@@ -144,7 +153,7 @@ func TestDependencyDistanceMean(t *testing.T) {
 
 func TestAddressesWithinWorkingSets(t *testing.T) {
 	spec := testSpec()
-	g := NewGenerator(spec, 17)
+	g := mustGen(t, spec, 17)
 	for i := 0; i < 50000; i++ {
 		u := g.Next()
 		if !u.Class.IsMem() {
@@ -166,7 +175,7 @@ func TestAddressesWithinWorkingSets(t *testing.T) {
 
 func TestPCWithinCodeFootprint(t *testing.T) {
 	spec := testSpec()
-	g := NewGenerator(spec, 19)
+	g := mustGen(t, spec, 19)
 	base := uint64(1) << 62
 	for i := 0; i < 50000; i++ {
 		u := g.Next()
@@ -181,7 +190,7 @@ func TestBranchBiasConsistency(t *testing.T) {
 	// a per-PC predictor can learn them.
 	spec := testSpec()
 	spec.BranchRandomFrac = 0
-	g := NewGenerator(spec, 23)
+	g := mustGen(t, spec, 23)
 	dirs := map[uint64]bool{}
 	for i := 0; i < 100000; i++ {
 		u := g.Next()
@@ -203,7 +212,7 @@ func TestSequentialStreamStrides(t *testing.T) {
 		Name: "seq", Mix: m, MeanDepDist: 4, CodeFootprintBytes: 1024,
 		Streams: []MemStream{{Weight: 1, WorkingSetBytes: 1 << 20, Sequential: true, StrideBytes: 64}},
 	}
-	g := NewGenerator(spec, 29)
+	g := mustGen(t, spec, 29)
 	var last uint64
 	seen := false
 	for i := 0; i < 1000; i++ {
@@ -225,7 +234,7 @@ func TestPointerChaseSerializes(t *testing.T) {
 		Name: "chase", Mix: m, MeanDepDist: 100, CodeFootprintBytes: 1024,
 		Streams: []MemStream{{Weight: 1, WorkingSetBytes: 1 << 20, PointerChase: true}},
 	}
-	g := NewGenerator(spec, 31)
+	g := mustGen(t, spec, 31)
 	for i := 0; i < 100; i++ {
 		if u := g.Next(); u.SrcDist[0] != 1 {
 			t.Fatalf("pointer-chase load has dep dist %d, want 1", u.SrcDist[0])
@@ -234,8 +243,8 @@ func TestPointerChaseSerializes(t *testing.T) {
 }
 
 func TestOffsetAddresses(t *testing.T) {
-	g1 := NewGenerator(testSpec(), 37)
-	g2 := NewGenerator(testSpec(), 37)
+	g1 := mustGen(t, testSpec(), 37)
+	g2 := mustGen(t, testSpec(), 37)
 	r := OffsetAddresses(g2, 1<<40)
 	for i := 0; i < 1000; i++ {
 		u1, u2 := g1.Next(), r.Next()
@@ -254,7 +263,7 @@ func TestOffsetAddresses(t *testing.T) {
 }
 
 func TestGeneratorCount(t *testing.T) {
-	g := NewGenerator(testSpec(), 41)
+	g := mustGen(t, testSpec(), 41)
 	for i := 0; i < 55; i++ {
 		g.Next()
 	}
@@ -266,8 +275,8 @@ func TestGeneratorCount(t *testing.T) {
 func TestDeterminismProperty(t *testing.T) {
 	// Property: for any seed, two generators agree on the first 200 µops.
 	f := func(seed uint64) bool {
-		a := NewGenerator(testSpec(), seed)
-		b := NewGenerator(testSpec(), seed)
+		a := mustGen(t, testSpec(), seed)
+		b := mustGen(t, testSpec(), seed)
 		for i := 0; i < 200; i++ {
 			if a.Next() != b.Next() {
 				return false

@@ -309,7 +309,10 @@ func (m Mix) Readers(uopSeed uint64) ([]trace.Reader, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := trace.NewGenerator(spec, uopSeed+uint64(i)*0x9E37)
+		g, err := trace.NewGenerator(spec, uopSeed+uint64(i)*0x9E37)
+		if err != nil {
+			return nil, err
+		}
 		readers[i] = trace.OffsetAddresses(g, uint64(i+1)<<40)
 	}
 	return readers, nil

@@ -1,0 +1,57 @@
+package smtflex
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoPanicsInEngineCode is the panic gate: the engine's failure model is
+// typed errors contained at the worker-pool and HTTP boundaries, so no
+// non-test file under internal/ may call panic(). The single deliberate
+// exception — the fault registry's injected panic, which exists to exercise
+// those containment boundaries — is marked with a "panicgate:allow" comment
+// on its line.
+func TestNoPanicsInEngineCode(t *testing.T) {
+	var violations []string
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for n := 1; sc.Scan(); n++ {
+			line := sc.Text()
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "//") {
+				continue
+			}
+			if !strings.Contains(line, "panic(") {
+				continue
+			}
+			if strings.Contains(line, "panicgate:allow") {
+				continue
+			}
+			violations = append(violations, fmt.Sprintf("%s:%d: %s", path, n, trimmed))
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Errorf("panic() in engine code — return a typed error instead, or mark a deliberate site with // panicgate:allow:\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
