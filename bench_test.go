@@ -30,6 +30,7 @@ import (
 	"smtflex/internal/cpu"
 	"smtflex/internal/interval"
 	"smtflex/internal/multicore"
+	"smtflex/internal/obs"
 	"smtflex/internal/profiler"
 	"smtflex/internal/sched"
 	"smtflex/internal/server"
@@ -147,13 +148,20 @@ func BenchmarkMultiDesignSweepParallel(b *testing.B) { benchMultiDesignSweep(b, 
 
 // --- Server benchmarks ---
 
-// BenchmarkServerSweep measures one /v1/sweep round-trip over HTTP against
-// a warm engine — the steady-state cost of serving a cached sweep: routing,
-// admission, cache lookup and JSON encoding.
-func BenchmarkServerSweep(b *testing.B) {
+// benchServerSweep measures one /v1/sweep round-trip over HTTP against a
+// warm engine — the steady-state cost of serving a cached sweep: routing,
+// admission, cache lookup and JSON encoding. traceBuffer selects the
+// server's tracing mode (0 = default-on, negative = disabled); the tracing
+// gate is process-global, so the disabled variant forces it off in case an
+// earlier benchmark's server enabled it.
+func benchServerSweep(b *testing.B, traceBuffer int) {
+	if traceBuffer < 0 {
+		obs.Disable()
+	}
 	srv, err := server.New(server.Config{
-		Sim:    simulator(),
-		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Sim:         simulator(),
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		TraceBuffer: traceBuffer,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -187,6 +195,9 @@ func BenchmarkServerSweep(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkServerSweep(b *testing.B)        { benchServerSweep(b, 0) }
+func BenchmarkServerSweepNoTrace(b *testing.B) { benchServerSweep(b, -1) }
 
 // --- Engine microbenchmarks ---
 

@@ -25,8 +25,10 @@ import (
 	"strings"
 	"time"
 
+	"smtflex/internal/buildinfo"
 	"smtflex/internal/checkpoint"
 	"smtflex/internal/core"
+	"smtflex/internal/obs"
 	"smtflex/internal/study"
 )
 
@@ -37,8 +39,15 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the campaign here and print a time-stack report to stderr")
 	list := flag.Bool("list", false, "list available figure ids and exit")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("figures", buildinfo.Get())
+		return
+	}
 
 	if *list {
 		for _, id := range core.FigureIDs() {
@@ -70,6 +79,15 @@ func main() {
 	}
 
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithMixesPerCount(*mixes), core.WithParallelism(*workers))
+
+	// With -trace, every figure runs under its own root span; on exit the
+	// collected traces become one Chrome trace-event file and the aggregated
+	// time stack lands on stderr. Tracing never changes the tables.
+	var col *obs.Collector
+	if *tracePath != "" {
+		obs.Enable()
+		col = obs.NewCollector(len(ids) + 1)
+	}
 
 	var ckpt *checkpoint.Manager
 	if *ckptPath != "" {
@@ -107,7 +125,9 @@ func main() {
 				continue
 			}
 		}
-		tab, err := sim.Figure(context.Background(), id)
+		tctx, root := obs.StartTrace(context.Background(), col, id)
+		tab, err := sim.Figure(tctx, id)
+		root.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
 			os.Exit(1)
@@ -124,6 +144,15 @@ func main() {
 		}
 		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), tab)
 		writeCSV(*csvDir, id, tab)
+	}
+
+	if col != nil {
+		report, err := col.DumpFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote %d trace(s) to %s\n\n%s", col.Len(), *tracePath, report)
 	}
 }
 

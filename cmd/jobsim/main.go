@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"strings"
 
+	"smtflex/internal/buildinfo"
 	"smtflex/internal/core"
 	"smtflex/internal/timeline"
 )
@@ -30,7 +31,13 @@ func main() {
 	seed := flag.Uint64("seed", 2014, "workload seed")
 	uops := flag.Uint64("profile-uops", 200_000, "µops per profiling run")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "designs simulated in parallel (1 = serial)")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("jobsim", buildinfo.Get())
+		return
+	}
 
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithParallelism(*workers))
 	jobs := timeline.PoissonWorkload(*nJobs, *inter, *work, *seed)

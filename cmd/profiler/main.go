@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"smtflex/internal/buildinfo"
 	"smtflex/internal/config"
 	"smtflex/internal/profiler"
 	"smtflex/internal/workload"
@@ -35,6 +36,7 @@ func main() {
 	curves := flag.Bool("curves", false, "also print the miss-ratio curves")
 	load := flag.String("load", "", "load previously saved profiles from this JSON file")
 	save := flag.String("save", "", "save all measured profiles to this JSON file")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage: profiler [flags]\n\nFlags:\n")
 		flag.PrintDefaults()
@@ -42,6 +44,11 @@ func main() {
 			"\nExit codes:\n  0  success\n  1  engine error (measurement or profile I/O failed)\n  2  usage error (bad flag, benchmark or core type)\n")
 	}
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("profiler", buildinfo.Get())
+		return
+	}
 
 	src := profiler.NewSource(*uops)
 	if *load != "" {

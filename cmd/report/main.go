@@ -21,8 +21,10 @@ import (
 	"runtime"
 	"time"
 
+	"smtflex/internal/buildinfo"
 	"smtflex/internal/checkpoint"
 	"smtflex/internal/core"
+	"smtflex/internal/obs"
 )
 
 func main() {
@@ -30,9 +32,25 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the experiment engine (1 = serial)")
 	figures := flag.Bool("figures", false, "append every figure table to the report")
 	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the campaign here and print a time-stack report to stderr")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("report", buildinfo.Get())
+		return
+	}
+
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithParallelism(*workers))
+
+	// With -trace, the findings campaign and every figure run under root
+	// spans; the collected traces become one Chrome trace-event file and the
+	// aggregated time stack lands on stderr.
+	var col *obs.Collector
+	if *tracePath != "" {
+		obs.Enable()
+		col = obs.NewCollector(len(core.FigureIDs()) + 1)
+	}
 
 	var ckpt *checkpoint.Manager
 	if *ckptPath != "" {
@@ -52,7 +70,9 @@ func main() {
 	}
 	start := time.Now()
 
-	findings, err := sim.Study().CheckFindings(context.Background())
+	fctx, froot := obs.StartTrace(context.Background(), col, "findings")
+	findings, err := sim.Study().CheckFindings(fctx)
+	froot.End()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
 		os.Exit(1)
@@ -93,7 +113,9 @@ func main() {
 					continue
 				}
 			}
-			tab, err := sim.Figure(context.Background(), id)
+			tctx, root := obs.StartTrace(context.Background(), col, id)
+			tab, err := sim.Figure(tctx, id)
+			root.End()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "report: %s: %v\n", id, err)
 				os.Exit(1)
@@ -110,5 +132,14 @@ func main() {
 			}
 			fmt.Printf("## %s\n\n```\n%s```\n\n", id, tab)
 		}
+	}
+
+	if col != nil {
+		report, err := col.DumpFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report: wrote %d trace(s) to %s\n\n%s", col.Len(), *tracePath, report)
 	}
 }

@@ -15,6 +15,14 @@
 //	POST /v1/jobsim       {"designs":["4B","20s"],"jobs":40}
 //	GET  /healthz
 //	GET  /metrics
+//	GET  /debug/traces            recent request traces (ring buffer)
+//	GET  /debug/traces/{id}       one trace; ?format=chrome for Perfetto
+//	GET  /debug/timestack         per-route wall-time breakdown; ?format=text
+//
+// With -debug-addr, a second loopback listener additionally serves Go's
+// pprof profiles under /debug/pprof/. Every request carries an X-Request-ID
+// (client-supplied or generated) echoed in the response and attached to each
+// log line and trace.
 //
 // SIGINT/SIGTERM drains in-flight requests (up to -drain) before exiting.
 package main
@@ -32,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"smtflex/internal/buildinfo"
 	"smtflex/internal/core"
 	"smtflex/internal/faults"
 	"smtflex/internal/server"
@@ -50,7 +59,15 @@ func main() {
 	cacheCap := flag.Int("cache-cap", 512, "max cached sweeps before LRU eviction (0 = unbounded)")
 	logJSON := flag.Bool("log-json", false, "log in JSON instead of text")
 	faultSpec := flag.String("faults", "", "DEV ONLY: arm fault injection, e.g. 'solver=error,profiler=latency:50ms,handler=panic:3'")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and trace debug endpoints on this extra address (e.g. 127.0.0.1:6060); keep it loopback-only")
+	traceBuf := flag.Int("trace-buf", 128, "completed request traces kept for /debug/traces (negative disables tracing)")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("smtflexd", buildinfo.Get())
+		return
+	}
 
 	if *faultSpec != "" {
 		if err := faults.ParseSpec(*faultSpec); err != nil {
@@ -83,6 +100,7 @@ func main() {
 		DefaultTimeout: *deadline,
 		MaxTimeout:     *maxDeadline,
 		Logger:         logger,
+		TraceBuffer:    *traceBuf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
@@ -98,9 +116,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		dbgSrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		// The debug listener is best-effort: it must never take the daemon
+		// down, so its errors are logged rather than fatal.
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener (pprof, traces, timestack)", "addr", *debugAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Info("smtflexd listening", "addr", *addr, "concurrency", *concurrency, "queue", *queue)
+	logger.Info("smtflexd listening", "addr", *addr, "concurrency", *concurrency, "queue", *queue, "build", buildinfo.Get().String())
 
 	select {
 	case err := <-errCh:

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"smtflex/internal/buildinfo"
 	"smtflex/internal/core"
+	"smtflex/internal/obs"
 )
 
 // fail prints a one-line diagnostic and exits: code 1 for engine errors,
@@ -34,6 +37,8 @@ func main() {
 	engine := flag.String("engine", "interval", "engine: interval or cycle")
 	uops := flag.Uint64("uops", 100_000, "µops per thread for the cycle engine")
 	profUops := flag.Uint64("profile-uops", 200_000, "µops per profiling run for the interval engine")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the run here and print a time-stack report to stderr")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage: smtsim [flags]\n\nFlags:\n")
 		flag.PrintDefaults()
@@ -42,15 +47,27 @@ func main() {
 	}
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("smtsim", buildinfo.Get())
+		return
+	}
+
 	sim := core.NewSimulator(core.WithUopCount(*profUops))
 	progs := strings.Split(*programs, ",")
 	for i := range progs {
 		progs[i] = strings.TrimSpace(progs[i])
 	}
 
+	var col *obs.Collector
+	if *tracePath != "" {
+		obs.Enable()
+		col = obs.NewCollector(1)
+	}
+	tctx, root := obs.StartTrace(context.Background(), col, "smtsim")
+
 	switch *engine {
 	case "interval":
-		res, err := sim.RunMix(*design, *smt, progs)
+		res, err := sim.RunMixCtx(tctx, *design, *smt, progs)
 		if err != nil {
 			fail(1, "%v", err)
 		}
@@ -74,5 +91,14 @@ func main() {
 		}
 	default:
 		fail(2, "unknown engine %q", *engine)
+	}
+
+	root.End()
+	if col != nil {
+		report, err := col.DumpFile(*tracePath)
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "smtsim: wrote trace to %s\n\n%s", *tracePath, report)
 	}
 }

@@ -1,0 +1,66 @@
+// Package buildinfo surfaces the binary's own build metadata — Go toolchain
+// version, VCS revision, module version — read once from the runtime's
+// embedded build information. It backs every binary's -version flag and the
+// daemon's smtflexd_build_info metric.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the subset of build metadata the project reports.
+type Info struct {
+	GoVersion string // toolchain that built the binary
+	Revision  string // VCS revision, possibly suffixed "+dirty"
+	Module    string // main module path
+	Version   string // main module version ("(devel)" for source builds)
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get reads the embedded build information once and caches it. Binaries
+// built without module support report "unknown" fields rather than failing.
+func Get() Info {
+	once.Do(func() {
+		cached = Info{GoVersion: "unknown", Revision: "unknown", Module: "unknown", Version: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		cached.GoVersion = bi.GoVersion
+		if bi.Main.Path != "" {
+			cached.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			cached.Version = bi.Main.Version
+		}
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			cached.Revision = rev + dirty
+		}
+	})
+	return cached
+}
+
+// String renders the info as the one-line output of -version.
+func (i Info) String() string {
+	return fmt.Sprintf("%s %s (revision %s, %s)", i.Module, i.Version, i.Revision, i.GoVersion)
+}

@@ -6,6 +6,7 @@
 package contention
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"smtflex/internal/config"
 	"smtflex/internal/faults"
 	"smtflex/internal/interval"
+	"smtflex/internal/obs"
 )
 
 // ErrDiverged reports that the fixed-point iteration produced a non-finite
@@ -124,6 +126,31 @@ func memLatencyNs(blocksPerNs, bandwidthGBps float64) float64 {
 // Solve iterates to a fixed point with the calibrated default model.
 func Solve(p Placement) (Result, error) {
 	return SolveModel(p, DefaultModel())
+}
+
+// SolveCtx is Solve with tracing: when ctx carries an active trace, the
+// solve is recorded as a "contention.solve" span annotated with the thread
+// count and the solver's convergence diagnostics. The numerical result is
+// identical to Solve.
+func SolveCtx(ctx context.Context, p Placement) (Result, error) {
+	return SolveModelCtx(ctx, p, DefaultModel())
+}
+
+// SolveModelCtx is SolveModel with the same span instrumentation as SolveCtx.
+func SolveModelCtx(ctx context.Context, p Placement, m Model) (Result, error) {
+	_, sp := obs.StartSpan(ctx, "contention.solve")
+	sp.SetAttr("threads", len(p.CoreOf))
+	defer sp.End()
+	res, err := SolveModel(p, m)
+	if sp != nil {
+		sp.SetAttr("iterations", res.Diag.Iterations)
+		sp.SetAttr("residual", res.Diag.Residual)
+		sp.SetAttr("converged", res.Diag.Converged)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}
+	return res, err
 }
 
 // SolveModel is Solve with explicit model choices (see Model); the ablation

@@ -114,12 +114,19 @@ func (s *Simulator) Designs(smt bool) []config.Design { return config.NineDesign
 // RunMix evaluates a multi-program workload (one benchmark name per thread)
 // on the named design using the interval engine, and returns system metrics.
 func (s *Simulator) RunMix(designName string, smt bool, programs []string) (study.MixResult, error) {
+	return s.RunMixCtx(context.Background(), designName, smt, programs)
+}
+
+// RunMixCtx is RunMix with observability: when ctx carries an active trace
+// (see internal/obs), the placement, contention solve and profile lookups
+// are recorded as spans. The result is identical to RunMix's.
+func (s *Simulator) RunMixCtx(ctx context.Context, designName string, smt bool, programs []string) (study.MixResult, error) {
 	d, err := config.DesignByName(designName, smt)
 	if err != nil {
 		return study.MixResult{}, err
 	}
 	mix := workload.Mix{ID: "user", Programs: programs}
-	return s.st.EvaluateMix(d, mix)
+	return s.st.EvaluateMixCtx(ctx, d, mix)
 }
 
 // RunParallel evaluates a multi-threaded application on the named design

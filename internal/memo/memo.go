@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"smtflex/internal/faults"
+	"smtflex/internal/obs"
 )
 
 // ErrComputePanic is the sentinel wrapped by errors produced when a compute
@@ -76,12 +77,24 @@ type entry[V any] struct {
 // Cache memoizes compute results by key. The zero value is ready to use.
 // It must not be copied after first use.
 type Cache[K comparable, V any] struct {
+	// Name labels the cache in spans and metrics ("profiles", "sweeps", …).
+	// Set it once before concurrent use; the zero value renders as "cache".
+	Name string
+
 	mu  sync.Mutex
 	m   map[K]*entry[V]
 	lru *list.List // completed entries, most recent first; values are keys
 	cap int        // 0 = unbounded
 
-	hits, misses atomic.Int64
+	hits, misses, coalesced atomic.Int64
+}
+
+// label returns the cache's span/metric name.
+func (c *Cache[K, V]) label() string {
+	if c.Name == "" {
+		return "cache"
+	}
+	return c.Name
 }
 
 // init lazily allocates the map and LRU list. Callers hold mu.
@@ -144,18 +157,74 @@ func (c *Cache[K, V]) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// Coalesced returns how many calls joined an in-flight computation for their
+// key instead of finding a completed entry — the subset of hits that the
+// singleflight machinery actually deduplicated.
+func (c *Cache[K, V]) Coalesced() int64 {
+	return c.coalesced.Load()
+}
+
+// Counters is a point-in-time snapshot of one cache's lookup counters, the
+// unit the daemon's per-cache /metrics series are built from.
+type Counters struct {
+	Name                    string
+	Hits, Misses, Coalesced int64
+	Entries                 int
+}
+
+// Counters snapshots the cache's name, counters and entry count.
+func (c *Cache[K, V]) Counters() Counters {
+	return Counters{
+		Name:      c.label(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   c.Len(),
+	}
+}
+
 // Get returns the cached value for key, computing it with compute on the
 // first call. Concurrent calls for the same key run compute exactly once and
 // all receive its result. compute must not call Get for the same key on the
 // same cache (it would deadlock); distinct keys may recurse freely, and the
 // cache's lock is never held while compute runs.
 func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	return c.get(context.Background(), key, func(context.Context) (V, error) { return compute() })
+}
+
+// GetTraced is Get with observability: when the context carries an active
+// trace, the time a lookup actually spends working is recorded as a
+// "memo.get" span annotated with the cache name and outcome — "compute" for
+// the caller that runs compute (whose own spans nest inside), "coalesced"
+// for callers that block on another's in-flight compute. Lookups served
+// instantly from a completed entry are counted (see Counters) but NOT
+// spanned: a hot sweep performs thousands of nanosecond hits, and spanning
+// them would flood the trace's span budget with zero-duration noise.
+// Lookup semantics are identical to Get — the two share the same
+// singleflight entries.
+func (c *Cache[K, V]) GetTraced(ctx context.Context, key K, compute func(context.Context) (V, error)) (V, error) {
+	return c.get(ctx, key, compute)
+}
+
+// get implements Get and GetTraced; ctx carries the parent span, if any.
+func (c *Cache[K, V]) get(ctx context.Context, key K, compute func(context.Context) (V, error)) (V, error) {
 	c.mu.Lock()
 	c.init()
 	if e, ok := c.m[key]; ok {
 		c.hits.Add(1)
 		c.touchLocked(e)
 		c.mu.Unlock()
+		select {
+		case <-e.done:
+			// Completed entry: a pure hit, counted but not spanned.
+		default:
+			c.coalesced.Add(1)
+			_, sp := obs.StartSpan(ctx, "memo.get")
+			sp.SetAttr("cache", c.label())
+			sp.SetAttr("outcome", "coalesced")
+			<-e.done
+			sp.End()
+		}
 		<-e.done
 		return e.val, e.err
 	}
@@ -164,7 +233,11 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	c.m[key] = e
 	c.mu.Unlock()
 
-	e.val, e.err = protect(compute)
+	sctx, sp := obs.StartSpan(ctx, "memo.get")
+	sp.SetAttr("cache", c.label())
+	sp.SetAttr("outcome", "compute")
+	e.val, e.err = protect(func() (V, error) { return compute(sctx) })
+	sp.End()
 	c.mu.Lock()
 	if e.err != nil {
 		// Leave failures uncached so the next caller can retry.
@@ -199,6 +272,9 @@ func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, compute func(context.Co
 		c.mu.Lock()
 		c.init()
 		e, ok := c.m[key]
+		// sp times the caller's wait on a compute or coalesced entry; pure
+		// hits are counted but not spanned (see GetTraced).
+		var sp *obs.Span
 		if ok {
 			c.hits.Add(1)
 			select {
@@ -213,11 +289,24 @@ func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, compute func(context.Co
 				return e.val, e.err
 			default:
 			}
+			c.coalesced.Add(1)
 			e.waiters++
 			c.mu.Unlock()
+			_, sp = obs.StartSpan(ctx, "memo.get")
+			sp.SetAttr("cache", c.label())
+			sp.SetAttr("outcome", "coalesced")
 		} else {
 			c.misses.Add(1)
-			cctx, cancel := context.WithCancel(context.Background())
+			var sctx context.Context
+			sctx, sp = obs.StartSpan(ctx, "memo.get")
+			sp.SetAttr("cache", c.label())
+			sp.SetAttr("outcome", "compute")
+			// The compute's context descends from obs.Detach(sctx): it carries
+			// the leader's trace identity — so profiler/solver spans inside
+			// the shared compute attach to the leader's trace, nested under
+			// its memo.get span — but no deadline; its lifetime is governed
+			// solely by the refcounted cancel below.
+			cctx, cancel := context.WithCancel(obs.Detach(sctx))
 			e = &entry[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
 			c.m[key] = e
 			c.mu.Unlock()
@@ -243,6 +332,7 @@ func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, compute func(context.Co
 			c.mu.Lock()
 			e.waiters--
 			c.mu.Unlock()
+			sp.End()
 			if errors.Is(e.err, context.Canceled) {
 				continue
 			}
@@ -255,6 +345,8 @@ func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, compute func(context.Co
 			if abandoned && e.cancel != nil {
 				e.cancel()
 			}
+			sp.SetAttr("error", ctx.Err().Error())
+			sp.End()
 			return *new(V), ctx.Err()
 		}
 	}

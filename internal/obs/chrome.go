@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one complete event ("ph":"X") in the Chrome trace-event
+// format understood by chrome://tracing and Perfetto. Timestamps and
+// durations are microseconds.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeFile is the top-level object form of a trace-event file.
+type ChromeFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeEvents renders one trace as complete events. Overlapping spans are
+// assigned to lanes (tids) greedily so concurrent pool tasks render side by
+// side instead of stacking into one unreadable row; pid distinguishes traces
+// when several are merged into one file.
+func ChromeEvents(t TraceJSON, pid int) []ChromeEvent {
+	spans := append([]SpanJSON(nil), t.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		// Longer spans first at equal starts so parents claim a lane before
+		// their children.
+		return spans[i].DurNs > spans[j].DurNs
+	})
+
+	// Each lane holds a stack of still-open spans. A span may join a lane only
+	// when the lane is idle at its start or the innermost open span there is
+	// one of its ancestors — so a child nests inside its parent's row, while
+	// overlapping siblings (concurrent pool tasks) spill into separate lanes
+	// and render side by side instead of stacking into one unreadable row.
+	parentOf := make(map[string]string, len(spans))
+	for _, s := range spans {
+		parentOf[s.ID] = s.Parent
+	}
+	isAncestor := func(anc, id string) bool {
+		for id != "" {
+			id = parentOf[id]
+			if id == anc {
+				return true
+			}
+		}
+		return false
+	}
+	type open struct {
+		id    string
+		endNs int64
+	}
+	var lanes [][]open
+	fits := func(li int, s SpanJSON) bool {
+		stack := lanes[li]
+		for len(stack) > 0 && stack[len(stack)-1].endNs <= s.StartNs {
+			stack = stack[:len(stack)-1]
+		}
+		lanes[li] = stack
+		return len(stack) == 0 || isAncestor(stack[len(stack)-1].id, s.ID)
+	}
+	laneOf := make(map[string]int, len(spans))
+	events := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		li := -1
+		if pl, ok := laneOf[s.Parent]; ok && s.Parent != "" && fits(pl, s) {
+			li = pl
+		} else {
+			for k := range lanes {
+				if fits(k, s) {
+					li = k
+					break
+				}
+			}
+		}
+		if li == -1 {
+			lanes = append(lanes, nil)
+			li = len(lanes) - 1
+		}
+		lanes[li] = append(lanes[li], open{id: s.ID, endNs: s.StartNs + s.DurNs})
+		laneOf[s.ID] = li
+
+		ev := ChromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TsUs:  float64(s.StartNs) / 1e3,
+			DurUs: float64(s.DurNs) / 1e3,
+			PID:   pid,
+			TID:   li,
+		}
+		if len(s.Attrs) > 0 || s.ID != "" {
+			ev.Args = map[string]any{"span_id": s.ID}
+			for k, v := range s.Attrs {
+				ev.Args[k] = v
+			}
+			if t.RequestID != "" {
+				ev.Args["request_id"] = t.RequestID
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChrome writes one or more traces as a single Chrome trace-event JSON
+// object, one pid per trace.
+func WriteChrome(w io.Writer, traces ...TraceJSON) error {
+	file := ChromeFile{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	for i, t := range traces {
+		file.TraceEvents = append(file.TraceEvents, ChromeEvents(t, i+1)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

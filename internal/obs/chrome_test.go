@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestChromeExportSchema validates the trace-event export structurally, the
+// way chrome://tracing and Perfetto parse it: a top-level object with a
+// traceEvents array of complete ("ph":"X") events whose ts/dur are
+// non-negative microseconds and whose pid/tid are integers.
+func TestChromeExportSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, handMadeTrace("/v1/sweep"), handMadeTrace("/v1/place")); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file["displayTimeUnit"] != "ms" {
+		t.Fatalf("displayTimeUnit=%v", file["displayTimeUnit"])
+	}
+	events, ok := file["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("traceEvents is %T, want array", file["traceEvents"])
+	}
+	if len(events) != 10 { // 5 spans per trace, 2 traces
+		t.Fatalf("got %d events, want 10", len(events))
+	}
+	pids := map[float64]bool{}
+	for i, raw := range events {
+		ev, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("event %d is %T", i, raw)
+		}
+		if name, _ := ev["name"].(string); name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		if ev["ph"] != "X" {
+			t.Fatalf("event %d ph=%v, want X", i, ev["ph"])
+		}
+		for _, k := range []string{"ts", "dur", "pid", "tid"} {
+			v, ok := ev[k].(float64)
+			if !ok || v < 0 {
+				t.Fatalf("event %d field %s = %v", i, k, ev[k])
+			}
+			if (k == "pid" || k == "tid") && v != float64(int64(v)) {
+				t.Fatalf("event %d %s=%v not integral", i, k, v)
+			}
+		}
+		pids[ev["pid"].(float64)] = true
+	}
+	if len(pids) != 2 {
+		t.Fatalf("merged traces share pids: %v", pids)
+	}
+}
+
+// TestChromeLaneAssignment checks the greedy lane layout: a child nests in
+// its parent's lane, and overlapping siblings get distinct lanes so they
+// render side by side instead of stacking.
+func TestChromeLaneAssignment(t *testing.T) {
+	const ms = int64(1e6)
+	tr := TraceJSON{
+		ID: "t", Name: "root", DurNs: 100 * ms,
+		Spans: []SpanJSON{
+			{ID: "s0", Name: "root", StartNs: 0, DurNs: 100 * ms},
+			// Two overlapping pool tasks: same window, distinct lanes.
+			{ID: "s1", Parent: "s0", Name: "task.a", StartNs: 10 * ms, DurNs: 50 * ms},
+			{ID: "s2", Parent: "s0", Name: "task.b", StartNs: 10 * ms, DurNs: 50 * ms},
+		},
+	}
+	events := ChromeEvents(tr, 1)
+	tidOf := map[string]int{}
+	for _, ev := range events {
+		tidOf[ev.Name] = ev.TID
+	}
+	if tidOf["task.a"] == tidOf["task.b"] {
+		t.Fatalf("overlapping siblings share lane %d", tidOf["task.a"])
+	}
+}
+
+// TestChromeRoundTripFromLiveTrace exports a trace built through the real
+// span API and checks span attributes and the request ID survive into args.
+func TestChromeRoundTripFromLiveTrace(t *testing.T) {
+	withTracing(t)
+	col := NewCollector(1)
+	ctx, root := StartTrace(WithRequestID(context.Background(), "rid-7"), col, "req")
+	_, sp := StartSpan(ctx, "contention.solve")
+	sp.SetAttr("iterations", 9)
+	sp.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, col.Traces()[0].Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var file ChromeFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, ev := range file.TraceEvents {
+		if ev.Name != "contention.solve" {
+			continue
+		}
+		found = true
+		if ev.Args["iterations"] != float64(9) {
+			t.Fatalf("iterations arg = %v", ev.Args["iterations"])
+		}
+		if ev.Args["request_id"] != "rid-7" {
+			t.Fatalf("request_id arg = %v", ev.Args["request_id"])
+		}
+	}
+	if !found {
+		t.Fatal("solve event missing from export")
+	}
+}

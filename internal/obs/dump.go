@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Snapshots renders every buffered trace, newest first.
+func (c *Collector) Snapshots() []TraceJSON {
+	traces := c.Traces()
+	out := make([]TraceJSON, len(traces))
+	for i, t := range traces {
+		out[i] = t.Snapshot()
+	}
+	return out
+}
+
+// DumpFile writes every buffered trace into one Chrome trace-event file at
+// path (loadable in chrome://tracing or Perfetto) and returns the aggregated
+// time-stack report rendered as text — the CLIs' -trace flag in one call.
+func (c *Collector) DumpFile(path string) (string, error) {
+	snaps := c.Snapshots()
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("obs: %w", err)
+	}
+	if err := WriteChrome(f, snaps...); err != nil {
+		f.Close()
+		return "", fmt.Errorf("obs: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("obs: %w", err)
+	}
+	return RenderTimeStacks(TimeStacks(snaps)), nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket, lock-free histogram for engine-level metrics
+// (solver iterations, pool queue seconds). Buckets are cumulative-upper-bound
+// in the Prometheus sense; observations above the last bound land only in the
+// implicit +Inf bucket. A nil *Histogram is a valid no-op so engine code can
+// observe unconditionally whether or not a daemon is collecting.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // one per bound; +Inf is implicit via count
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds))
+	return h
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := floatBits(bitsFloat(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy for rendering: cumulative
+// bucket counts per bound, total count and sum.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	Sum        float64
+}
+
+// Snapshot renders the histogram's current state with cumulative buckets.
+// Nil-safe (returns a zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.bounds)),
+		Count:      h.count.Load(),
+		Sum:        bitsFloat(h.sum.Load()),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

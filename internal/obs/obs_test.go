@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing arms tracing for one test and disarms it afterwards. The
+// enabled gate is process-global, so these tests must not run in parallel.
+func withTracing(t *testing.T) {
+	t.Helper()
+	Enable()
+	t.Cleanup(Disable)
+}
+
+func TestDisabledPathIsNoop(t *testing.T) {
+	Disable()
+	col := NewCollector(4)
+	ctx, root := StartTrace(context.Background(), col, "req")
+	if root != nil {
+		t.Fatalf("StartTrace returned a span with tracing disabled")
+	}
+	ctx2, sp := StartSpan(ctx, "child")
+	if sp != nil || ctx2 != ctx {
+		t.Fatalf("StartSpan not a no-op with tracing disabled")
+	}
+	// Every method must tolerate the nil span.
+	sp.SetAttr("k", 1)
+	sp.End()
+	root.End()
+	if col.Len() != 0 {
+		t.Fatalf("collector got %d traces with tracing disabled", col.Len())
+	}
+}
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	withTracing(t)
+	_, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatalf("StartSpan minted a span with no trace in the context")
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	withTracing(t)
+	col := NewCollector(4)
+	ctx, root := StartTrace(WithRequestID(context.Background(), "r-42"), col, "sweep")
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	cctx, a := StartSpan(ctx, "profiler.profile")
+	a.SetAttr("benchmark", "mcf")
+	_, b := StartSpan(cctx, "contention.solve")
+	b.SetAttr("iterations", 7)
+	b.End()
+	a.End()
+	if col.Len() != 0 {
+		t.Fatal("trace published before root ended")
+	}
+	root.End()
+	if col.Len() != 1 {
+		t.Fatalf("collector has %d traces, want 1", col.Len())
+	}
+
+	tr := col.Traces()[0]
+	if tr.Name != "sweep" || tr.RequestID != "r-42" {
+		t.Fatalf("trace identity: %q / %q", tr.Name, tr.RequestID)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(snap.Spans))
+	}
+	byName := map[string]SpanJSON{}
+	for _, s := range snap.Spans {
+		byName[s.Name] = s
+		if s.DurNs < 0 || s.StartNs < 0 {
+			t.Fatalf("span %q has negative times: %+v", s.Name, s)
+		}
+	}
+	if byName["profiler.profile"].Parent != byName["sweep"].ID {
+		t.Fatalf("profile span parent %q != root %q", byName["profiler.profile"].Parent, byName["sweep"].ID)
+	}
+	if byName["contention.solve"].Parent != byName["profiler.profile"].ID {
+		t.Fatal("solve span not nested under profile span")
+	}
+	if got := byName["contention.solve"].Attrs["iterations"]; got != 7 {
+		t.Fatalf("iterations attr = %v, want 7", got)
+	}
+	if snap.DurNs <= 0 {
+		t.Fatalf("completed trace has DurNs %d", snap.DurNs)
+	}
+	meta := tr.Meta()
+	if meta.Spans != 3 || meta.ID != tr.ID || meta.DurNs != snap.DurNs {
+		t.Fatalf("Meta mismatch: %+v vs snapshot %d spans / %d ns", meta, len(snap.Spans), snap.DurNs)
+	}
+}
+
+func TestDoubleEndIgnored(t *testing.T) {
+	withTracing(t)
+	col := NewCollector(4)
+	_, root := StartTrace(context.Background(), col, "t")
+	root.End()
+	root.End()
+	if col.Len() != 1 {
+		t.Fatalf("double End published %d traces", col.Len())
+	}
+	if got := col.Traces()[0].Meta().Spans; got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}
+
+func TestCollectorRingEviction(t *testing.T) {
+	withTracing(t)
+	col := NewCollector(3)
+	var ids []string
+	for i := 0; i < 7; i++ {
+		_, root := StartTrace(context.Background(), col, "t")
+		ids = append(ids, rootTraceID(root))
+		root.End()
+	}
+	if col.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", col.Len())
+	}
+	got := col.Traces()
+	// Newest first: traces 6, 5, 4.
+	for i, want := range []string{ids[6], ids[5], ids[4]} {
+		if got[i].ID != want {
+			t.Fatalf("trace[%d].ID=%s, want %s", i, got[i].ID, want)
+		}
+	}
+	if _, ok := col.Find(ids[0]); ok {
+		t.Fatal("evicted trace still findable")
+	}
+	if tr, ok := col.Find(ids[6]); !ok || tr.ID != ids[6] {
+		t.Fatal("newest trace not findable")
+	}
+}
+
+func rootTraceID(root *Span) string { return root.tr.ID }
+
+func TestSpanCapDropsExcess(t *testing.T) {
+	withTracing(t)
+	col := NewCollector(1)
+	ctx, root := StartTrace(context.Background(), col, "big")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	root.End()
+	snap := col.Traces()[0].Snapshot()
+	// The cap keeps the first maxSpansPerTrace children plus the root, which
+	// is exempt so an over-budget trace still has its anchor span.
+	if len(snap.Spans) != maxSpansPerTrace+1 {
+		t.Fatalf("kept %d spans, want cap+root = %d", len(snap.Spans), maxSpansPerTrace+1)
+	}
+	if snap.DroppedSpans != 10 {
+		t.Fatalf("DroppedSpans=%d, want 10", snap.DroppedSpans)
+	}
+	var hasRoot bool
+	for _, s := range snap.Spans {
+		if s.Parent == "" {
+			hasRoot = true
+		}
+	}
+	if !hasRoot {
+		t.Fatal("root span dropped by the cap")
+	}
+}
+
+func TestRequestIDFlow(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context has a request ID")
+	}
+	ctx = WithRequestID(ctx, "abc")
+	if RequestID(ctx) != "abc" {
+		t.Fatalf("RequestID=%q", RequestID(ctx))
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Fatalf("NewRequestID not unique: %q %q", a, b)
+	}
+}
+
+func TestDetachKeepsObservabilityDropsDeadline(t *testing.T) {
+	withTracing(t)
+	col := NewCollector(1)
+	ctx, root := StartTrace(WithRequestID(context.Background(), "rid-1"), col, "t")
+	dctx, cancel := context.WithTimeout(ctx, time.Hour)
+	defer cancel()
+
+	out := Detach(dctx)
+	if _, ok := out.Deadline(); ok {
+		t.Fatal("Detach kept the deadline")
+	}
+	if RequestID(out) != "rid-1" {
+		t.Fatalf("Detach lost the request ID: %q", RequestID(out))
+	}
+	// A span opened on the detached context still lands in the same trace.
+	_, sp := StartSpan(out, "late")
+	sp.End()
+	root.End()
+	snap := col.Traces()[0].Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Fatalf("detached span lost: %d spans", len(snap.Spans))
+	}
+}
+
+func TestConcurrentSpansSameTrace(t *testing.T) {
+	withTracing(t)
+	col := NewCollector(1)
+	ctx, root := StartTrace(context.Background(), col, "pool")
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx, sp := StartSpan(ctx, "pool.task")
+			_, inner := StartSpan(cctx, "contention.solve")
+			inner.End()
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	snap := col.Traces()[0].Snapshot()
+	if len(snap.Spans) != 2*workers+1 {
+		t.Fatalf("got %d spans, want %d", len(snap.Spans), 2*workers+1)
+	}
+	ids := map[string]bool{}
+	for _, s := range snap.Spans {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span ID %s", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count=%d, want 5", s.Count)
+	}
+	if want := 562.5; s.Sum != want {
+		t.Fatalf("Sum=%g, want %g", s.Sum, want)
+	}
+	// Cumulative per bound: ≤1: 1, ≤10: 3, ≤100: 4; 500 only in +Inf.
+	for i, want := range []int64{1, 3, 4} {
+		if s.Cumulative[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Cumulative[i], want)
+		}
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(3) // must not panic
+	if s := h.Snapshot(); s.Count != 0 || len(s.Bounds) != 0 {
+		t.Fatalf("nil snapshot: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{0.5})
+	const n, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != n*per || s.Cumulative[0] != n*per {
+		t.Fatalf("count=%d bucket=%d, want %d", s.Count, s.Cumulative[0], n*per)
+	}
+	if want := float64(n*per) * 0.25; s.Sum != want {
+		t.Fatalf("sum=%g, want %g", s.Sum, want)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time-stack categories, in render order. The time stack is the engine's
+// analog of the paper's CPI stacks: instead of decomposing cycles per
+// instruction into base/miss components, it decomposes a request's wall time
+// into the engine phases that spent it.
+const (
+	CatProfile   = "profile"
+	CatSolve     = "solve"
+	CatQueue     = "queue"
+	CatCache     = "cache"
+	CatSerialize = "serialize"
+	CatOther     = "other"
+)
+
+// Categories lists the time-stack components in presentation order.
+var Categories = []string{CatProfile, CatSolve, CatQueue, CatCache, CatSerialize, CatOther}
+
+// CategoryOf maps a span to its time-stack component by name prefix. Pool
+// tasks contribute their queue wait (the queue_ns attribute) to the queue
+// component; their remaining self time is engine work attributed to "other"
+// unless a child claims it.
+func CategoryOf(name string) string {
+	switch {
+	case strings.HasPrefix(name, "profiler."):
+		return CatProfile
+	case strings.HasPrefix(name, "contention.solve"):
+		return CatSolve
+	case strings.HasPrefix(name, "memo."):
+		return CatCache
+	case strings.HasPrefix(name, "http.serialize"):
+		return CatSerialize
+	case strings.HasPrefix(name, "queue.wait"):
+		return CatQueue
+	default:
+		return CatOther
+	}
+}
+
+// TimeStack is the aggregated breakdown for one group of traces (one route,
+// or one figure): thread-time attributed to each category, plus the wall
+// time and trace count it was aggregated over.
+type TimeStack struct {
+	Name    string             `json:"name"`
+	Traces  int                `json:"traces"`
+	WallNs  int64              `json:"wall_ns"`
+	ByNs    map[string]int64   `json:"by_ns"`
+	Percent map[string]float64 `json:"percent"`
+}
+
+// stackOne folds a single trace into byNs using self-time attribution: each
+// span contributes its duration minus the duration of its direct children
+// (clamped at zero — concurrent children can sum past the parent), under the
+// category of its own name. Pool-task queue waits, recorded as a queue_ns
+// attribute rather than a span (the wait precedes the task's goroutine), are
+// credited to the queue component and debited from the task's self time.
+func stackOne(t TraceJSON, byNs map[string]int64) int64 {
+	childNs := make(map[string]int64, len(t.Spans))
+	for _, s := range t.Spans {
+		if s.Parent != "" {
+			childNs[s.Parent] += s.DurNs
+		}
+	}
+	for _, s := range t.Spans {
+		self := s.DurNs - childNs[s.ID]
+		if self < 0 {
+			self = 0
+		}
+		if q, ok := numAttr(s.Attrs, "queue_ns"); ok && q > 0 {
+			if q > self {
+				q = self
+			}
+			byNs[CatQueue] += q
+			self -= q
+		}
+		byNs[CategoryOf(s.Name)] += self
+	}
+	return t.DurNs
+}
+
+// numAttr extracts an integer attribute that may have round-tripped through
+// JSON (float64) or not (int/int64).
+func numAttr(attrs map[string]any, key string) (int64, bool) {
+	switch v := attrs[key].(type) {
+	case int64:
+		return v, true
+	case int:
+		return int64(v), true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+// TimeStacks aggregates traces grouped by trace name (the server names root
+// spans after their route, the CLIs after the figure). Percentages are of
+// the total attributed thread time per group, so concurrent pool work —
+// where thread time legitimately exceeds wall time — still sums to 100%.
+func TimeStacks(traces []TraceJSON) []TimeStack {
+	groups := make(map[string][]TraceJSON)
+	for _, t := range traces {
+		groups[t.Name] = append(groups[t.Name], t)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := make([]TimeStack, 0, len(names))
+	for _, n := range names {
+		ts := TimeStack{Name: n, ByNs: make(map[string]int64), Percent: make(map[string]float64)}
+		for _, t := range groups[n] {
+			ts.WallNs += stackOne(t, ts.ByNs)
+			ts.Traces++
+		}
+		var total int64
+		for _, v := range ts.ByNs {
+			total += v
+		}
+		if total > 0 {
+			for k, v := range ts.ByNs {
+				ts.Percent[k] = 100 * float64(v) / float64(total)
+			}
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
+// RenderTimeStacks formats stacks as a fixed-width text table, one row per
+// group, one column per category — the shape of the paper's stacked bars.
+func RenderTimeStacks(stacks []TimeStack) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %7s %10s", "group", "traces", "wall_ms")
+	for _, c := range Categories {
+		fmt.Fprintf(&b, " %9s", c+"%")
+	}
+	b.WriteByte('\n')
+	for _, s := range stacks {
+		fmt.Fprintf(&b, "%-24s %7d %10.1f", s.Name, s.Traces, float64(s.WallNs)/1e6)
+		for _, c := range Categories {
+			fmt.Fprintf(&b, " %9.1f", s.Percent[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

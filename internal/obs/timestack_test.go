@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// trace builds a TraceJSON by hand: a 100ms root with a pool task that
+// waited 10ms in queue, a 40ms solve and a 20ms profile lookup inside the
+// task, and a 5ms serialize step.
+func handMadeTrace(name string) TraceJSON {
+	const ms = int64(1e6)
+	return TraceJSON{
+		ID:    "t-1",
+		Name:  name,
+		DurNs: 100 * ms,
+		Spans: []SpanJSON{
+			{ID: "s0", Name: name, StartNs: 0, DurNs: 100 * ms},
+			{ID: "s1", Parent: "s0", Name: "pool.task", StartNs: 0, DurNs: 90 * ms,
+				Attrs: map[string]any{"queue_ns": 10 * ms}},
+			{ID: "s2", Parent: "s1", Name: "contention.solve", StartNs: 15 * ms, DurNs: 40 * ms},
+			{ID: "s3", Parent: "s1", Name: "profiler.profile", StartNs: 60 * ms, DurNs: 20 * ms},
+			{ID: "s4", Parent: "s0", Name: "http.serialize", StartNs: 92 * ms, DurNs: 5 * ms},
+		},
+	}
+}
+
+func TestTimeStackSelfTimeAttribution(t *testing.T) {
+	const ms = int64(1e6)
+	stacks := TimeStacks([]TraceJSON{handMadeTrace("/v1/sweep")})
+	if len(stacks) != 1 {
+		t.Fatalf("got %d stacks, want 1", len(stacks))
+	}
+	s := stacks[0]
+	if s.Name != "/v1/sweep" || s.Traces != 1 || s.WallNs != 100*ms {
+		t.Fatalf("stack header: %+v", s)
+	}
+	// Self times: root 100-90-5=5 (other); task 90-40-20=30, minus 10 queue
+	// → 20 other + 10 queue; solve 40; profile 20; serialize 5.
+	want := map[string]int64{
+		CatOther:     25 * ms,
+		CatQueue:     10 * ms,
+		CatSolve:     40 * ms,
+		CatProfile:   20 * ms,
+		CatSerialize: 5 * ms,
+	}
+	for cat, ns := range want {
+		if s.ByNs[cat] != ns {
+			t.Errorf("ByNs[%s]=%d, want %d", cat, s.ByNs[cat], ns)
+		}
+	}
+	var pct float64
+	for _, p := range s.Percent {
+		pct += p
+	}
+	if math.Abs(pct-100) > 1e-9 {
+		t.Fatalf("percentages sum to %g, want 100", pct)
+	}
+	if want := 40.0; s.Percent[CatSolve] != want {
+		t.Fatalf("solve%% = %g, want %g", s.Percent[CatSolve], want)
+	}
+}
+
+func TestTimeStacksGroupByName(t *testing.T) {
+	stacks := TimeStacks([]TraceJSON{
+		handMadeTrace("/v1/sweep"),
+		handMadeTrace("/v1/sweep"),
+		handMadeTrace("/v1/place"),
+	})
+	if len(stacks) != 2 {
+		t.Fatalf("got %d groups, want 2", len(stacks))
+	}
+	// Sorted by name: /v1/place first.
+	if stacks[0].Name != "/v1/place" || stacks[0].Traces != 1 {
+		t.Fatalf("group 0: %+v", stacks[0])
+	}
+	if stacks[1].Name != "/v1/sweep" || stacks[1].Traces != 2 {
+		t.Fatalf("group 1: %+v", stacks[1])
+	}
+	if stacks[1].WallNs != 2*stacks[0].WallNs {
+		t.Fatalf("wall time not summed: %d vs %d", stacks[1].WallNs, stacks[0].WallNs)
+	}
+}
+
+func TestCategoryOf(t *testing.T) {
+	cases := map[string]string{
+		"profiler.profile": CatProfile,
+		"profiler.measure": CatProfile,
+		"contention.solve": CatSolve,
+		"memo.get":         CatCache,
+		"http.serialize":   CatSerialize,
+		"queue.wait":       CatQueue,
+		"study.sweep":      CatOther,
+		"pool.task":        CatOther,
+	}
+	for name, want := range cases {
+		if got := CategoryOf(name); got != want {
+			t.Errorf("CategoryOf(%q)=%q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestRenderTimeStacks(t *testing.T) {
+	out := RenderTimeStacks(TimeStacks([]TraceJSON{handMadeTrace("/v1/sweep")}))
+	for _, want := range []string{"group", "/v1/sweep", "solve%", "queue%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered stack missing %q:\n%s", want, out)
+		}
+	}
+}

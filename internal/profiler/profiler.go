@@ -12,6 +12,7 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"smtflex/internal/mem"
 	"smtflex/internal/memo"
 	"smtflex/internal/multicore"
+	"smtflex/internal/obs"
 	"smtflex/internal/trace"
 )
 
@@ -103,12 +105,21 @@ func NewSource(uopCount uint64) *Source {
 	if uopCount == 0 {
 		uopCount = 200_000
 	}
-	return &Source{
+	s := &Source{
 		UopCount:    uopCount,
 		Warmup:      2 * uopCount,
 		CurveUops:   8 * uopCount,
 		CurveWarmup: 2 * uopCount,
 	}
+	s.profiles.Name = "profiles"
+	s.curves.Name = "curves"
+	return s
+}
+
+// CacheCounters snapshots the profile and curve cache counters for the
+// daemon's per-cache metrics.
+func (s *Source) CacheCounters() []memo.Counters {
+	return []memo.Counters{s.profiles.Counters(), s.curves.Counters()}
 }
 
 // Profile returns the (cached) profile of spec on core type ct. Concurrent
@@ -116,15 +127,32 @@ func NewSource(uopCount uint64) *Source {
 // lose the race block and share the winner's profile. A failed measurement is
 // not cached: a later call retries it.
 func (s *Source) Profile(spec trace.Spec, ct config.CoreType) (*interval.Profile, error) {
-	return s.profiles.Get(profileKey{bench: spec.Name, core: ct}, func() (*interval.Profile, error) {
-		return s.measure(spec, ct)
+	return s.ProfileCtx(context.Background(), spec, ct)
+}
+
+// ProfileCtx is Profile with tracing: when ctx carries an active trace, an
+// actual measurement (a cache miss) is recorded as a "profiler.profile" span
+// nested under the cache's memo.get span. Cache hits — the overwhelming
+// majority once the engine is warm — are not spanned; see memo.GetTraced.
+// The profile returned is identical to Profile's; the context is
+// observational only and does not cancel a measurement.
+func (s *Source) ProfileCtx(ctx context.Context, spec trace.Spec, ct config.CoreType) (*interval.Profile, error) {
+	return s.profiles.GetTraced(ctx, profileKey{bench: spec.Name, core: ct}, func(ctx context.Context) (*interval.Profile, error) {
+		ctx, sp := obs.StartSpan(ctx, "profiler.profile")
+		sp.SetAttr("benchmark", spec.Name)
+		sp.SetAttr("core", ct.String())
+		defer sp.End()
+		return s.measure(ctx, spec, ct)
 	})
 }
 
 // curvesFor computes (or returns cached) reuse curves for the benchmark,
 // with the same duplicate suppression as Profile.
-func (s *Source) curvesFor(spec trace.Spec) (*curvePair, error) {
-	return s.curves.Get(spec.Name, func() (*curvePair, error) {
+func (s *Source) curvesFor(ctx context.Context, spec trace.Spec) (*curvePair, error) {
+	return s.curves.GetTraced(ctx, spec.Name, func(ctx context.Context) (*curvePair, error) {
+		_, sp := obs.StartSpan(ctx, "profiler.curves")
+		sp.SetAttr("benchmark", spec.Name)
+		defer sp.End()
 		return s.measureCurves(spec)
 	})
 }
@@ -214,13 +242,17 @@ func (s *Source) runOnce(spec trace.Spec, cc config.Core, ideal cpu.Ideal) (meas
 	return m, nil
 }
 
-func (s *Source) measure(spec trace.Spec, ct config.CoreType) (*interval.Profile, error) {
+func (s *Source) measure(ctx context.Context, spec trace.Spec, ct config.CoreType) (*interval.Profile, error) {
+	ctx, sp := obs.StartSpan(ctx, "profiler.measure")
+	sp.SetAttr("benchmark", spec.Name)
+	sp.SetAttr("core", ct.String())
+	defer sp.End()
 	s.measureRuns.Add(1)
 	if err := faults.Check(faults.SiteProfiler); err != nil {
 		return nil, err
 	}
 	cc := config.CoreOfType(ct)
-	curves, err := s.curvesFor(spec)
+	curves, err := s.curvesFor(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -6,12 +6,14 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"smtflex/internal/config"
 	"smtflex/internal/contention"
 	"smtflex/internal/interval"
+	"smtflex/internal/obs"
 	"smtflex/internal/trace"
 	"smtflex/internal/workload"
 )
@@ -21,6 +23,41 @@ import (
 // the scheduler propagates it to the caller.
 type ProfileSource interface {
 	Profile(spec trace.Spec, ct config.CoreType) (*interval.Profile, error)
+}
+
+// CtxProfileSource is implemented by profile sources whose lookups accept a
+// context for observability (package profiler). PlaceCtx uses it when the
+// source offers it, so profile spans nest under the placement span.
+type CtxProfileSource interface {
+	ProfileCtx(ctx context.Context, spec trace.Spec, ct config.CoreType) (*interval.Profile, error)
+}
+
+// ctxSource adapts a CtxProfileSource back to ProfileSource with a fixed
+// context, so Place's single code path serves both entry points. The stored
+// context is purely observational (never used for cancellation).
+type ctxSource struct {
+	ctx context.Context
+	cs  CtxProfileSource
+}
+
+func (c ctxSource) Profile(spec trace.Spec, ct config.CoreType) (*interval.Profile, error) {
+	return c.cs.ProfileCtx(c.ctx, spec, ct)
+}
+
+// PlaceCtx is Place with tracing: when ctx carries an active trace the
+// placement is recorded as a "sched.place" span, with the profile lookups it
+// triggers nested inside when src implements CtxProfileSource. The placement
+// returned is identical to Place's.
+func PlaceCtx(ctx context.Context, d config.Design, mix workload.Mix, src ProfileSource) (contention.Placement, error) {
+	ctx, sp := obs.StartSpan(ctx, "sched.place")
+	sp.SetAttr("design", d.Name)
+	sp.SetAttr("mix", mix.ID)
+	sp.SetAttr("threads", mix.NumThreads())
+	defer sp.End()
+	if cs, ok := src.(CtxProfileSource); ok {
+		src = ctxSource{ctx: ctx, cs: cs}
+	}
+	return Place(d, mix, src)
 }
 
 // soloIPC estimates a thread's isolated IPC on core cc with a full window

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"smtflex/internal/obs"
 )
 
 // metrics is the server's observability state, exposed at /metrics in the
@@ -85,15 +87,27 @@ func (m *metrics) failure(kind string) {
 	m.mu.Unlock()
 }
 
-// gauge is one point-in-time value sampled at scrape.
-type gauge struct {
+// sample is one point-in-time value sampled at scrape, with the metadata a
+// strict Prometheus parser requires: every series gets a HELP/TYPE pair.
+// Samples sharing a metric name (label variants) must be adjacent in the
+// slice; write emits the headers once per name.
+type sample struct {
 	name   string
+	help   string
+	kind   string // "gauge" or "counter"
 	labels string // rendered label set, may be empty
 	value  float64
 }
 
+// engineHist is a snapshot of one engine-level histogram for rendering.
+type engineHist struct {
+	name string
+	help string
+	snap obs.HistogramSnapshot
+}
+
 // write renders every metric in deterministic order.
-func (m *metrics) write(w io.Writer, gauges []gauge) {
+func (m *metrics) write(w io.Writer, samples []sample, hists []engineHist) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -152,7 +166,22 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 		fmt.Fprintf(w, "smtflexd_request_duration_seconds_count{route=%q} %d\n", r, h.n)
 	}
 
-	for _, g := range gauges {
+	for _, h := range hists {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		for i, bound := range h.snap.Bounds {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.name, bound, h.snap.Cumulative[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.snap.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", h.name, h.snap.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", h.name, h.snap.Count)
+	}
+
+	prev := ""
+	for _, g := range samples {
+		if g.name != prev {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", g.name, g.help, g.name, g.kind)
+			prev = g.name
+		}
 		fmt.Fprintf(w, "%s%s %g\n", g.name, g.labels, g.value)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"time"
 
+	"smtflex/internal/buildinfo"
 	"smtflex/internal/cache"
 	"smtflex/internal/config"
 	"smtflex/internal/contention"
@@ -44,6 +45,7 @@ import (
 	"smtflex/internal/faults"
 	"smtflex/internal/mem"
 	"smtflex/internal/memo"
+	"smtflex/internal/obs"
 	"smtflex/internal/sched"
 	"smtflex/internal/study"
 	"smtflex/internal/timeline"
@@ -69,6 +71,9 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
+	// TraceBuffer bounds the ring of completed request traces behind
+	// /debug/traces (default 128; negative disables request tracing).
+	TraceBuffer int
 }
 
 // Server handles the smtflexd API. Create with New; serve via Handler.
@@ -81,7 +86,24 @@ type Server struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	figures        map[string]bool
+
+	// col buffers completed request traces for /debug/traces and
+	// /debug/timestack; nil when tracing is disabled (TraceBuffer < 0).
+	col *obs.Collector
+	// solverIters and poolQueue receive engine-level observations (solver
+	// iteration counts, pool queue waits) behind the /metrics histograms.
+	solverIters *obs.Histogram
+	poolQueue   *obs.Histogram
 }
+
+// solverIterBuckets are the smtflexd_solver_iterations upper bounds: the
+// fixed-point solver converges in a handful of iterations on most mixes and
+// its budget is in the hundreds.
+var solverIterBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// queueBuckets are the smtflexd_pool_queue_seconds upper bounds: queue waits
+// range from sub-microsecond (idle pool) to seconds (cold campaign).
+var queueBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
 
 // New builds a Server around the given engine.
 func New(cfg Config) (*Server, error) {
@@ -117,6 +139,16 @@ func New(cfg Config) (*Server, error) {
 	for _, id := range core.FigureIDs() {
 		s.figures[id] = true
 	}
+	if cfg.TraceBuffer >= 0 {
+		if cfg.TraceBuffer == 0 {
+			cfg.TraceBuffer = 128
+		}
+		s.col = obs.NewCollector(cfg.TraceBuffer)
+		obs.Enable()
+	}
+	s.solverIters = obs.NewHistogram(solverIterBuckets)
+	s.poolQueue = obs.NewHistogram(queueBuckets)
+	s.study().SetEngineHistograms(s.solverIters, s.poolQueue)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -124,6 +156,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("POST /v1/place", s.endpoint("/v1/place", s.handlePlace))
 	s.mux.Handle("GET /v1/figures/{id}", s.endpoint("/v1/figures", s.handleFigure))
 	s.mux.Handle("POST /v1/jobsim", s.endpoint("/v1/jobsim", s.handleJobsim))
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	s.mux.HandleFunc("GET /debug/timestack", s.handleTimestack)
 	return s, nil
 }
 
@@ -200,33 +235,62 @@ func failureKind(err error) string {
 // handlerFunc computes a JSON-marshalable response under ctx.
 type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
 
-// endpoint wraps a handler with admission control, the per-request
-// deadline, metrics and logging — the shared spine of every engine-backed
-// route.
+// requestIDHeader is the inbound/outbound request-identity header.
+const requestIDHeader = "X-Request-ID"
+
+// resolveRequestID accepts the client's X-Request-ID when it is sane (short,
+// printable ASCII — it lands verbatim in log lines), generating one
+// otherwise. Either way the response echoes it.
+func resolveRequestID(r *http.Request) string {
+	rid := r.Header.Get(requestIDHeader)
+	if rid == "" || len(rid) > 128 {
+		return obs.NewRequestID()
+	}
+	for i := 0; i < len(rid); i++ {
+		if rid[i] < 0x20 || rid[i] > 0x7e {
+			return obs.NewRequestID()
+		}
+	}
+	return rid
+}
+
+// endpoint wraps a handler with request identity, tracing, admission
+// control, the per-request deadline, metrics and logging — the shared spine
+// of every engine-backed route.
 func (s *Server) endpoint(route string, fn handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rid := resolveRequestID(r)
+		w.Header().Set(requestIDHeader, rid)
+		rctx := obs.WithRequestID(r.Context(), rid)
+		// The root span covers the whole request; finish ends it after the
+		// response is serialized, completing the trace into the ring buffer.
+		tctx, root := obs.StartTrace(rctx, s.col, route)
+
 		timeout, err := s.requestTimeout(r)
 		if err != nil {
-			s.finish(w, r, route, start, 0, nil, err)
+			s.finish(w, r, tctx, root, rid, route, start, 0, nil, err)
 			return
 		}
-		if err := s.adm.acquire(r.Context()); err != nil {
+		_, qs := obs.StartSpan(tctx, "queue.wait")
+		err = s.adm.acquire(tctx)
+		qs.End()
+		if err != nil {
 			if errors.Is(err, errQueueFull) {
 				s.met.reject()
 				w.Header().Set("Retry-After", "1")
 				err = &httpError{http.StatusServiceUnavailable, "admission queue full, retry later"}
 			}
-			s.finish(w, r, route, start, 0, nil, err)
+			s.finish(w, r, tctx, root, rid, route, start, 0, nil, err)
 			return
 		}
 		defer s.adm.release()
 		wait := time.Since(start)
 
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		ctx, cancel := context.WithTimeout(tctx, timeout)
 		defer cancel()
 		res, err := s.safely(ctx, fn, r)
-		s.finish(w, r, route, start, wait, res, err)
+		s.finish(w, r, tctx, root, rid, route, start, wait, res, err)
 	})
 }
 
@@ -266,10 +330,12 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// finish writes the response (or error), and records metrics and the
-// request log line.
-func (s *Server) finish(w http.ResponseWriter, r *http.Request, route string, start time.Time, wait time.Duration, res any, err error) {
+// finish serializes the response (or error) under an "http.serialize" span,
+// ends the request's root span, and records metrics and the request log
+// line (every line carries the request ID).
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, ctx context.Context, root *obs.Span, rid, route string, start time.Time, wait time.Duration, res any, err error) {
 	code := http.StatusOK
+	_, ser := obs.StartSpan(ctx, "http.serialize")
 	if err != nil {
 		code = statusOf(err)
 		if kind := failureKind(err); kind != "" {
@@ -279,10 +345,16 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, route string, st
 	} else {
 		writeJSON(w, code, res)
 	}
+	ser.End()
+	root.SetAttr("code", code)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
 	dur := time.Since(start)
 	s.met.observe(route, code, dur)
 	attrs := []any{
-		"method", r.Method, "route", route, "path", r.URL.Path,
+		"method", r.Method, "route", route, "path", r.URL.Path, "rid", rid,
 		"code", code, "dur_ms", dur.Milliseconds(), "wait_ms", wait.Milliseconds(),
 	}
 	if err != nil {
@@ -334,20 +406,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	cs := s.study().CacheStats()
-	gauges := []gauge{
-		{"smtflexd_queue_waiting", "", float64(s.adm.waiting())},
-		{"smtflexd_inflight", "", float64(s.adm.executing())},
-		{"smtflexd_engine_evaluations_total", "", float64(s.study().Evaluations())},
-		{"smtflexd_cache_entries", `{cache="solo"}`, float64(cs.SoloEntries)},
-		{"smtflexd_cache_entries", `{cache="sweeps"}`, float64(cs.SweepEntries)},
-		{"smtflexd_cache_hits_total", `{cache="solo"}`, float64(cs.SoloHits)},
-		{"smtflexd_cache_misses_total", `{cache="solo"}`, float64(cs.SoloMisses)},
-		{"smtflexd_cache_hits_total", `{cache="sweeps"}`, float64(cs.SweepHits)},
-		{"smtflexd_cache_misses_total", `{cache="sweeps"}`, float64(cs.SweepMisses)},
+	bi := buildinfo.Get()
+	samples := []sample{
+		{"smtflexd_build_info", "Build metadata of the running binary; the value is always 1.", "gauge",
+			fmt.Sprintf(`{go_version=%q,vcs_revision=%q,version=%q}`, bi.GoVersion, bi.Revision, bi.Version), 1},
+		{"smtflexd_queue_waiting", "Requests waiting for an execution slot.", "gauge", "", float64(s.adm.waiting())},
+		{"smtflexd_inflight", "Requests currently executing.", "gauge", "", float64(s.adm.executing())},
+		{"smtflexd_engine_evaluations_total", "Mix evaluations performed by the experiment engine.", "counter", "", float64(s.study().Evaluations())},
+	}
+	// Per-cache series from every memo cache the engine reaches (solo-rate,
+	// sweeps, profiles, curves). Label variants of one metric stay adjacent
+	// so write emits each HELP/TYPE header exactly once.
+	counters := s.study().CacheCounters()
+	for _, mc := range []struct {
+		name, help string
+		kind       string
+		value      func(memo.Counters) float64
+	}{
+		{"smtflexd_cache_entries", "Entries resident per engine cache.", "gauge", func(c memo.Counters) float64 { return float64(c.Entries) }},
+		{"smtflexd_memo_hits_total", "Cache lookups served from a completed or in-flight entry, per cache.", "counter", func(c memo.Counters) float64 { return float64(c.Hits) }},
+		{"smtflexd_memo_misses_total", "Cache lookups that started a new computation, per cache.", "counter", func(c memo.Counters) float64 { return float64(c.Misses) }},
+		{"smtflexd_memo_coalesced_total", "Cache lookups that joined an in-flight computation, per cache.", "counter", func(c memo.Counters) float64 { return float64(c.Coalesced) }},
+	} {
+		for _, c := range counters {
+			samples = append(samples, sample{mc.name, mc.help, mc.kind, fmt.Sprintf(`{cache=%q}`, c.Name), mc.value(c)})
+		}
+	}
+	for _, c := range counters {
+		if c.Name == "sweeps" {
+			samples = append(samples, sample{"smtflexd_coalesced_sweeps_total",
+				"Sweep requests that joined another request's in-flight sweep computation.", "counter", "", float64(c.Coalesced)})
+		}
+	}
+	hists := []engineHist{
+		{"smtflexd_solver_iterations", "Fixed-point iterations per contention solve.", s.solverIters.Snapshot()},
+		{"smtflexd_pool_queue_seconds", "Time evaluation tasks spend queued before a pool worker starts them.", s.poolQueue.Snapshot()},
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, gauges)
+	s.met.write(w, samples, hists)
 }
 
 func (s *Server) handleSweep(ctx context.Context, r *http.Request) (any, error) {
@@ -417,11 +513,11 @@ func (s *Server) handlePlace(ctx context.Context, r *http.Request) (any, error) 
 		return nil, err
 	}
 	mix := workload.Mix{ID: "api", Programs: req.Programs}
-	placement, err := sched.Place(d, mix, s.sim.Source())
+	placement, err := sched.PlaceCtx(ctx, d, mix, s.sim.Source())
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.study().EvaluateMix(d, mix)
+	res, err := s.study().EvaluateMixCtx(ctx, d, mix)
 	if err != nil {
 		return nil, err
 	}

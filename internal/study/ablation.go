@@ -31,6 +31,8 @@ func (s *Study) withModel(m contention.Model) *Study {
 	alt.Parallelism = s.Parallelism
 	alt.solo = s.solo
 	alt.sweeps = s.sweeps
+	alt.solverIters = s.solverIters
+	alt.poolQueue = s.poolQueue
 	return alt
 }
 
@@ -86,7 +88,7 @@ func (s *Study) AblationSMTEfficiency(ctx context.Context) (*Table, error) {
 			hetero = append(hetero, d)
 		}
 		vals := make([]float64, len(hetero))
-		err = runIndexed(ctx, alt.workers(), len(hetero), func(i int) error {
+		err = runIndexed(ctx, alt.workers(), len(hetero), alt.poolQueue, func(ctx context.Context, i int) error {
 			_, v, err := alt.fig8Row(ctx, hetero[i])
 			vals[i] = v
 			return err

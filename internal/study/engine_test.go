@@ -164,7 +164,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		const n = 100
 		seen := make([]int32, n)
-		err := runIndexed(context.Background(), workers, n, func(i int) error {
+		err := runIndexed(context.Background(), workers, n, nil, func(_ context.Context, i int) error {
 			seen[i]++
 			return nil
 		})
@@ -180,7 +180,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 }
 
 func TestRunIndexedZeroTasks(t *testing.T) {
-	if err := runIndexed(context.Background(), 4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+	if err := runIndexed(context.Background(), 4, 0, nil, func(_ context.Context, _ int) error { return errors.New("must not run") }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -188,7 +188,7 @@ func TestRunIndexedZeroTasks(t *testing.T) {
 func TestRunIndexedPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		err := runIndexed(context.Background(), workers, 50, func(i int) error {
+		err := runIndexed(context.Background(), workers, 50, nil, func(_ context.Context, i int) error {
 			if i == 17 {
 				return boom
 			}
@@ -204,7 +204,7 @@ func TestRunIndexedStopsAfterError(t *testing.T) {
 	// After a failure the pool must stop handing out new indices; with the
 	// serial fallback nothing past the failing index runs at all.
 	ran := 0
-	err := runIndexed(context.Background(), 1, 100, func(i int) error {
+	err := runIndexed(context.Background(), 1, 100, nil, func(_ context.Context, i int) error {
 		ran++
 		if i == 3 {
 			return errors.New("stop")
@@ -234,7 +234,7 @@ func TestRunIndexedHonorsCancelledContext(t *testing.T) {
 	cancel()
 	for _, workers := range []int{1, 4} {
 		ran := 0
-		err := runIndexed(ctx, workers, 50, func(i int) error { ran++; return nil })
+		err := runIndexed(ctx, workers, 50, nil, func(_ context.Context, i int) error { ran++; return nil })
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
 		}
@@ -247,7 +247,7 @@ func TestRunIndexedHonorsCancelledContext(t *testing.T) {
 func TestRunIndexedStopsMidway(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var ran atomic.Int64
-	err := runIndexed(ctx, 2, 1000, func(i int) error {
+	err := runIndexed(ctx, 2, 1000, nil, func(_ context.Context, i int) error {
 		if ran.Add(1) == 10 {
 			cancel()
 		}

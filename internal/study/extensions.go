@@ -55,8 +55,8 @@ func (s *Study) ExtensionTurboBoost(ctx context.Context) (*Table, error) {
 
 		mixes := s.mixesAt(Homogeneous, n)
 		stps := make([]float64, len(mixes))
-		err := runIndexed(ctx, s.workers(), len(mixes), func(mi int) error {
-			r, err := s.EvaluateMix(boosted, mixes[mi])
+		err := runIndexed(ctx, s.workers(), len(mixes), s.poolQueue, func(ctx context.Context, mi int) error {
+			r, err := s.EvaluateMixCtx(ctx, boosted, mixes[mi])
 			stps[mi] = r.STP
 			return err
 		})

@@ -33,7 +33,7 @@ func designNames() []string {
 // their sweeps in input order.
 func (s *Study) sweepAll(ctx context.Context, designs []config.Design, k Kind) ([]*Sweep, error) {
 	sweeps := make([]*Sweep, len(designs))
-	err := runIndexed(ctx, s.workers(), len(designs), func(i int) error {
+	err := runIndexed(ctx, s.workers(), len(designs), s.poolQueue, func(ctx context.Context, i int) error {
 		sw, err := s.SweepDesign(ctx, designs[i], k)
 		sweeps[i] = sw
 		return err
@@ -94,7 +94,7 @@ func (s *Study) Figure1(ctx context.Context) (*Table, error) {
 		return nil, err
 	}
 	resByApp := make([]parallel.Result, len(apps))
-	err = runIndexed(ctx, s.workers(), len(apps), func(r int) error {
+	err = runIndexed(ctx, s.workers(), len(apps), s.poolQueue, func(_ context.Context, r int) error {
 		app, err := parallel.AppByName(apps[r])
 		if err != nil {
 			return err
@@ -208,7 +208,7 @@ func (s *Study) uniformAverages(ctx context.Context, title string, designs []con
 	u := dist.Uniform()
 	kinds := []Kind{Homogeneous, Heterogeneous}
 	vals := make([]float64, len(designs)*len(kinds))
-	err := runIndexed(ctx, s.workers(), len(vals), func(i int) error {
+	err := runIndexed(ctx, s.workers(), len(vals), s.poolQueue, func(ctx context.Context, i int) error {
 		d, k := designs[i/len(kinds)], kinds[i%len(kinds)]
 		sw, err := s.SweepDesign(ctx, d, k)
 		if err != nil {

@@ -12,7 +12,7 @@ import (
 // order; a cancelled context stops handing designs to workers.
 func (s *Study) RunJobs(ctx context.Context, designs []config.Design, jobs []timeline.Job) ([]timeline.Result, error) {
 	out := make([]timeline.Result, len(designs))
-	err := runIndexed(ctx, s.workers(), len(designs), func(i int) error {
+	err := runIndexed(ctx, s.workers(), len(designs), s.poolQueue, func(_ context.Context, i int) error {
 		r, err := timeline.Simulate(designs[i], jobs, s.Src)
 		if err != nil {
 			return err

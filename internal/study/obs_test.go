@@ -1,0 +1,97 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"smtflex/internal/config"
+	"smtflex/internal/obs"
+)
+
+// TestSweepBitIdenticalWithTracing is the observability layer's correctness
+// contract: arming tracing must not change a single bit of the engine's
+// output. Two cold studies sweep the same design, one dark and one traced,
+// and the tables must agree exactly; the traced run must also have produced
+// spans at every engine boundary.
+func TestSweepBitIdenticalWithTracing(t *testing.T) {
+	d, err := config.DesignByName("2B4m", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Disable()
+	dark := newEngineStudy(4)
+	swDark, err := dark.SweepDesign(context.Background(), d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	col := obs.NewCollector(1)
+	ctx, root := obs.StartTrace(context.Background(), col, "sweep")
+	traced := newEngineStudy(4)
+	swTraced, err := traced.SweepDesign(ctx, d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if fmt.Sprintf("%+v", swDark) != fmt.Sprintf("%+v", swTraced) {
+		t.Fatal("sweep tables differ with tracing enabled")
+	}
+
+	snap := col.Traces()[0].Snapshot()
+	seen := map[string]int{}
+	for _, s := range snap.Spans {
+		seen[s.Name]++
+	}
+	for _, name := range []string{"study.sweep", "pool.task", "memo.get", "contention.solve", "profiler.profile"} {
+		if seen[name] == 0 {
+			t.Errorf("no %q span in traced sweep (saw %v)", name, seen)
+		}
+	}
+	// Every pool task records how long it sat in the queue.
+	for _, s := range snap.Spans {
+		if s.Name != "pool.task" {
+			continue
+		}
+		if _, ok := s.Attrs["queue_ns"]; !ok {
+			t.Fatalf("pool.task span missing queue_ns attr: %+v", s)
+		}
+	}
+	// The solver annotates convergence so time stacks can be read against
+	// iteration counts.
+	for _, s := range snap.Spans {
+		if s.Name == "contention.solve" {
+			if _, ok := s.Attrs["iterations"]; !ok {
+				t.Fatalf("contention.solve span missing iterations attr: %+v", s)
+			}
+			break
+		}
+	}
+}
+
+// TestEngineHistogramsFill checks that a sweep feeds the daemon's two
+// engine-level histograms: solver iterations and pool queue seconds.
+func TestEngineHistogramsFill(t *testing.T) {
+	iters := obs.NewHistogram([]float64{1, 8, 64, 512})
+	queue := obs.NewHistogram([]float64{1e-6, 1e-3, 1})
+	s := newEngineStudy(4)
+	s.SetEngineHistograms(iters, queue)
+
+	d, err := config.DesignByName("2B4m", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SweepDesign(context.Background(), d, Heterogeneous); err != nil {
+		t.Fatal(err)
+	}
+	if got := iters.Snapshot(); got.Count == 0 || got.Sum <= 0 {
+		t.Fatalf("solver-iterations histogram empty after sweep: %+v", got)
+	}
+	if got := queue.Snapshot(); got.Count == 0 {
+		t.Fatalf("pool-queue histogram empty after sweep: %+v", got)
+	}
+}

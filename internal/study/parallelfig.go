@@ -84,7 +84,7 @@ func (s *Study) parallelSpeedupTable(ctx context.Context, title string, designs 
 	apps := parallel.AppNames()
 	type speedup struct{ roi, whole float64 }
 	vals := make([]speedup, len(designs)*len(apps))
-	err := runIndexed(ctx, s.workers(), len(vals), func(i int) error {
+	err := runIndexed(ctx, s.workers(), len(vals), s.poolQueue, func(_ context.Context, i int) error {
 		d, name := designs[i/len(apps)], apps[i%len(apps)]
 		app, err := parallel.AppByName(name)
 		if err != nil {
@@ -140,7 +140,7 @@ func (s *Study) Figure12(ctx context.Context, phase string) (*Table, error) {
 	t := NewTable(fmt.Sprintf("Figure 12: per-application speedup (%s, SMT designs)", phase),
 		parallel.AppNames(), names)
 	apps := parallel.AppNames()
-	err = runIndexed(ctx, s.workers(), len(designs)*len(apps), func(i int) error {
+	err = runIndexed(ctx, s.workers(), len(designs)*len(apps), s.poolQueue, func(_ context.Context, i int) error {
 		c, r := i/len(apps), i%len(apps)
 		app, err := parallel.AppByName(apps[r])
 		if err != nil {

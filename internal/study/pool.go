@@ -8,8 +8,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smtflex/internal/faults"
+	"smtflex/internal/obs"
 )
 
 // ErrWorkerPanic is the sentinel wrapped by errors produced when an
@@ -31,6 +33,11 @@ var ErrWorkerPanic = errors.New("study: evaluation panicked")
 // abandoned mid-sweep the remaining grid is dropped instead of burning
 // workers for a result nobody will read. In-progress evaluations finish
 // (they are short); no new ones start.
+//
+// Observability: each task runs under a "pool.task" span carrying its index
+// and its queue wait — the time between the batch entering the pool and the
+// task starting, the engine's analog of dispatch stalls. The wait also feeds
+// the optional queue histogram (the daemon's smtflexd_pool_queue_seconds).
 
 // workers resolves the pool size: Parallelism if positive, else GOMAXPROCS.
 func (s *Study) workers() int {
@@ -40,27 +47,29 @@ func (s *Study) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runIndexed runs fn(i) for every i in [0, n) on up to workers goroutines,
-// stopping early if ctx is cancelled. On a task error the pool stops handing
-// out new indices and returns the error with the lowest index among those
-// observed (the serial engine's error, unless a later index failed first and
-// won the race to stop the pool). On cancellation it returns ctx.Err(),
-// unless every index was already handed out and completed — then the work is
-// done and the cancellation is irrelevant. With one worker it degenerates to
-// the plain serial loop.
-func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error {
+// runIndexed runs fn(ctx, i) for every i in [0, n) on up to workers
+// goroutines, stopping early if ctx is cancelled. On a task error the pool
+// stops handing out new indices and returns the error with the lowest index
+// among those observed (the serial engine's error, unless a later index
+// failed first and won the race to stop the pool). On cancellation it
+// returns ctx.Err(), unless every index was already handed out and
+// completed — then the work is done and the cancellation is irrelevant. With
+// one worker it degenerates to the plain serial loop. queue, when non-nil,
+// receives each task's queue wait in seconds.
+func runIndexed(ctx context.Context, workers, n int, queue *obs.Histogram, fn func(ctx context.Context, i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if workers > n {
 		workers = n
 	}
+	enqueued := time.Now()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := safeCall(i, fn); err != nil {
+			if err := safeCall(ctx, enqueued, queue, i, fn); err != nil {
 				return err
 			}
 		}
@@ -98,7 +107,7 @@ func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error
 					record(i, err)
 					return
 				}
-				if err := safeCall(i, fn); err != nil {
+				if err := safeCall(ctx, enqueued, queue, i, fn); err != nil {
 					record(i, err)
 					return
 				}
@@ -109,10 +118,17 @@ func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error
 	return firstErr
 }
 
-// safeCall runs fn(i) with the worker fault-injection site applied and any
-// panic converted into an error wrapping ErrWorkerPanic, so both the serial
-// and the parallel engine contain evaluation panics identically.
-func safeCall(i int, fn func(i int) error) (err error) {
+// safeCall runs fn(ctx, i) under a "pool.task" span, with the worker
+// fault-injection site applied and any panic converted into an error
+// wrapping ErrWorkerPanic, so both the serial and the parallel engine
+// contain evaluation panics identically.
+func safeCall(ctx context.Context, enqueued time.Time, queue *obs.Histogram, i int, fn func(ctx context.Context, i int) error) (err error) {
+	wait := time.Since(enqueued)
+	queue.Observe(wait.Seconds())
+	ctx, sp := obs.StartSpan(ctx, "pool.task")
+	sp.SetAttr("index", i)
+	sp.SetAttr("queue_ns", wait.Nanoseconds())
+	defer sp.End()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: task %d: %v\n%s", ErrWorkerPanic, i, r, debug.Stack())
@@ -121,5 +137,5 @@ func safeCall(i int, fn func(i int) error) (err error) {
 	if err := faults.Check(faults.SiteWorker); err != nil {
 		return fmt.Errorf("task %d: %w", i, err)
 	}
-	return fn(i)
+	return fn(ctx, i)
 }

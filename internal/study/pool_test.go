@@ -15,7 +15,7 @@ import (
 // parallel engine, without unwinding the caller.
 
 func TestRunIndexedContainsPanicSerial(t *testing.T) {
-	err := runIndexed(context.Background(), 1, 4, func(i int) error {
+	err := runIndexed(context.Background(), 1, 4, nil, func(_ context.Context, i int) error {
 		if i == 2 {
 			panic("task exploded")
 		}
@@ -31,7 +31,7 @@ func TestRunIndexedContainsPanicSerial(t *testing.T) {
 
 func TestRunIndexedContainsPanicParallel(t *testing.T) {
 	var ran atomic.Int64
-	err := runIndexed(context.Background(), 4, 32, func(i int) error {
+	err := runIndexed(context.Background(), 4, 32, nil, func(_ context.Context, i int) error {
 		ran.Add(1)
 		if i == 5 {
 			panic(i)
@@ -50,7 +50,7 @@ func TestRunIndexedContainsPanicParallel(t *testing.T) {
 func TestRunIndexedPanicReportsLowestIndex(t *testing.T) {
 	// When several tasks panic, the reported index is the lowest observed —
 	// matching the serial engine's first failure.
-	err := runIndexed(context.Background(), 8, 8, func(i int) error {
+	err := runIndexed(context.Background(), 8, 8, nil, func(_ context.Context, i int) error {
 		panic(i)
 	})
 	if !errors.Is(err, ErrWorkerPanic) {
@@ -65,12 +65,12 @@ func TestWorkerErrorInjection(t *testing.T) {
 	faults.Reset()
 	defer faults.Reset()
 	faults.Enable(faults.SiteWorker, faults.Injection{Mode: faults.ModeError, Count: 1})
-	err := runIndexed(context.Background(), 1, 3, func(i int) error { return nil })
+	err := runIndexed(context.Background(), 1, 3, nil, func(_ context.Context, i int) error { return nil })
 	if !errors.Is(err, faults.ErrInjected) {
 		t.Fatalf("got %v, want injected error", err)
 	}
 	// Disarmed: the next run completes.
-	if err := runIndexed(context.Background(), 1, 3, func(i int) error { return nil }); err != nil {
+	if err := runIndexed(context.Background(), 1, 3, nil, func(_ context.Context, i int) error { return nil }); err != nil {
 		t.Fatalf("run after disarm: %v", err)
 	}
 }
@@ -79,11 +79,11 @@ func TestWorkerPanicInjectionParallel(t *testing.T) {
 	faults.Reset()
 	defer faults.Reset()
 	faults.Enable(faults.SiteWorker, faults.Injection{Mode: faults.ModePanic, Count: 1})
-	err := runIndexed(context.Background(), 4, 16, func(i int) error { return nil })
+	err := runIndexed(context.Background(), 4, 16, nil, func(_ context.Context, i int) error { return nil })
 	if !errors.Is(err, ErrWorkerPanic) {
 		t.Fatalf("got %v, want ErrWorkerPanic", err)
 	}
-	if err := runIndexed(context.Background(), 4, 16, func(i int) error { return nil }); err != nil {
+	if err := runIndexed(context.Background(), 4, 16, nil, func(_ context.Context, i int) error { return nil }); err != nil {
 		t.Fatalf("run after disarm: %v", err)
 	}
 }

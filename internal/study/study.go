@@ -16,6 +16,7 @@ import (
 	"smtflex/internal/interval"
 	"smtflex/internal/memo"
 	"smtflex/internal/metrics"
+	"smtflex/internal/obs"
 	"smtflex/internal/power"
 	"smtflex/internal/profiler"
 	"smtflex/internal/sched"
@@ -69,6 +70,13 @@ type Study struct {
 	// studies share this cache too.
 	sweeps *memo.Cache[string, *Sweep]
 
+	// solverIters and poolQueue, when non-nil, receive engine-level
+	// observations — contention-solver iteration counts and pool queue waits
+	// in seconds — behind the daemon's metrics. withModel-derived ablation
+	// studies share them by pointer, like the caches.
+	solverIters *obs.Histogram
+	poolQueue   *obs.Histogram
+
 	// soloComputes and sweepComputes count cache-miss computations performed
 	// by this Study — test instrumentation for the singleflight guarantees.
 	soloComputes  atomic.Int64
@@ -111,23 +119,49 @@ func (s *Study) BoundCaches(maxSweeps int) { s.sweeps.Bound(maxSweeps) }
 func New(src *profiler.Source) *Study {
 	return &Study{
 		Src: src, MixesPerCount: 12, Seed: 20140301,
-		solo:   &memo.Cache[string, float64]{},
-		sweeps: &memo.Cache[string, *Sweep]{},
+		solo:   &memo.Cache[string, float64]{Name: "solo"},
+		sweeps: &memo.Cache[string, *Sweep]{Name: "sweeps"},
 	}
+}
+
+// SetEngineHistograms installs the daemon's engine-level histograms: solver
+// iteration counts per solve and pool queue waits in seconds. Nil disables a
+// series. Call before concurrent use; derived ablation studies inherit them.
+func (s *Study) SetEngineHistograms(solverIters, poolQueue *obs.Histogram) {
+	s.solverIters = solverIters
+	s.poolQueue = poolQueue
+}
+
+// CacheCounters snapshots every engine cache this Study reaches — its own
+// solo-rate and sweep caches plus the profile source's — for the daemon's
+// per-cache metrics.
+func (s *Study) CacheCounters() []memo.Counters {
+	out := []memo.Counters{s.solo.Counters(), s.sweeps.Counters()}
+	if s.Src != nil {
+		out = append(out, s.Src.CacheCounters()...)
+	}
+	return out
 }
 
 // SoloRate returns a benchmark's isolated progress rate (µops/ns) on the big
 // core — the normalization reference for STP and ANTT. Concurrent calls for
 // the same benchmark compute the rate once.
 func (s *Study) SoloRate(bench string) (float64, error) {
-	return s.solo.Get(bench, func() (float64, error) {
+	return s.SoloRateCtx(context.Background(), bench)
+}
+
+// SoloRateCtx is SoloRate with tracing: the cache lookup and — on a miss —
+// the profiling and solve behind it are recorded as spans when ctx carries
+// an active trace. The rate returned is identical to SoloRate's.
+func (s *Study) SoloRateCtx(ctx context.Context, bench string) (float64, error) {
+	return s.solo.GetTraced(ctx, bench, func(ctx context.Context) (float64, error) {
 		s.soloComputes.Add(1)
 		spec, err := workload.ByName(bench)
 		if err != nil {
 			return 0, err
 		}
 		d := config.NewDesign("solo-big", 1, 0, 0, false)
-		prof, err := s.Src.Profile(spec, config.Big)
+		prof, err := s.Src.ProfileCtx(ctx, spec, config.Big)
 		if err != nil {
 			return 0, err
 		}
@@ -136,7 +170,7 @@ func (s *Study) SoloRate(bench string) (float64, error) {
 			CoreOf:   []int{0},
 			Profiles: []*interval.Profile{prof},
 		}
-		res, err := contention.Solve(p)
+		res, err := contention.SolveCtx(ctx, p)
 		if err != nil {
 			return 0, err
 		}
@@ -162,22 +196,31 @@ type MixResult struct {
 
 // EvaluateMix places and solves one mix on a design and computes metrics.
 func (s *Study) EvaluateMix(d config.Design, mix workload.Mix) (MixResult, error) {
+	return s.EvaluateMixCtx(context.Background(), d, mix)
+}
+
+// EvaluateMixCtx is EvaluateMix with tracing: the placement, contention
+// solve and solo-rate lookups are recorded as spans when ctx carries an
+// active trace, and the solve's iteration count feeds the solver histogram.
+// The result is identical to EvaluateMix's.
+func (s *Study) EvaluateMixCtx(ctx context.Context, d config.Design, mix workload.Mix) (MixResult, error) {
 	s.evals.Add(1)
-	placement, err := sched.Place(d, mix, s.Src)
+	placement, err := sched.PlaceCtx(ctx, d, mix, s.Src)
 	if err != nil {
 		return MixResult{}, err
 	}
-	solved, err := contention.SolveModel(placement, s.Model)
+	solved, err := contention.SolveModelCtx(ctx, placement, s.Model)
 	if err != nil {
 		return MixResult{}, err
 	}
+	s.solverIters.Observe(float64(solved.Diag.Iterations))
 
 	n := mix.NumThreads()
 	rates := make([]float64, n)
 	soloRates := make([]float64, n)
 	for i := 0; i < n; i++ {
 		rates[i] = solved.Threads[i].UopsPerNs
-		soloRates[i], err = s.SoloRate(mix.Programs[i])
+		soloRates[i], err = s.SoloRateCtx(ctx, mix.Programs[i])
 		if err != nil {
 			return MixResult{}, err
 		}
@@ -268,6 +311,10 @@ func (s *Study) SweepDesign(ctx context.Context, d config.Design, k Kind) (*Swee
 
 // computeSweep does the actual evaluation behind SweepDesign's cache.
 func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Sweep, error) {
+	ctx, sp := obs.StartSpan(ctx, "study.sweep")
+	sp.SetAttr("design", d.Name)
+	sp.SetAttr("kind", k.String())
+	defer sp.End()
 	sw := &Sweep{Design: d, Kind: k}
 	nMixes := len(s.mixesAt(k, 1))
 	sw.ByMix = make([][MaxThreads]float64, nMixes)
@@ -293,9 +340,9 @@ func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Swe
 	for i := range results {
 		results[i] = make([]MixResult, nMixes)
 	}
-	err := runIndexed(ctx, s.workers(), MaxThreads*nMixes, func(i int) error {
+	err := runIndexed(ctx, s.workers(), MaxThreads*nMixes, s.poolQueue, func(ctx context.Context, i int) error {
 		n, mi := i/nMixes+1, i%nMixes
-		r, err := s.EvaluateMix(d, mixes[n][mi])
+		r, err := s.EvaluateMixCtx(ctx, d, mixes[n][mi])
 		if err != nil {
 			return fmt.Errorf("study: %s on %s: %w", mixes[n][mi].ID, d.Name, err)
 		}
