@@ -1,0 +1,33 @@
+// Command benchjson converts `go test -bench` text output on stdin into the
+// stable JSON perf-trajectory document on stdout — the format the CI bench
+// job archives as BENCH_<date>.json.
+//
+// Usage:
+//
+//	go test -bench . -benchtime=1x | benchjson > BENCH_$(date +%F).json
+//
+// Exit codes: 0 success; 1 malformed benchmark input.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"smtflex/internal/benchjson"
+)
+
+func main() {
+	rep, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark result(s)\n", len(rep.Results))
+}

@@ -28,6 +28,7 @@ import (
 	"smtflex/internal/buildinfo"
 	"smtflex/internal/checkpoint"
 	"smtflex/internal/core"
+	"smtflex/internal/machstats"
 	"smtflex/internal/obs"
 	"smtflex/internal/study"
 )
@@ -40,6 +41,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the campaign here and print a time-stack report to stderr")
+	machPath := flag.String("machstats", "", "arm the machine-counter registry and write its snapshot to <path>.json, <path>.stacks.csv and <path>.counters.csv after the campaign")
 	list := flag.Bool("list", false, "list available figure ids and exit")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
@@ -79,6 +81,13 @@ func main() {
 	}
 
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithMixesPerCount(*mixes), core.WithParallelism(*workers))
+
+	// With -machstats, the machine-counter registry collects CPI stacks and
+	// event counters across the whole campaign and exports them on exit.
+	// Arming it never changes the tables.
+	if *machPath != "" {
+		machstats.Enable()
+	}
 
 	// With -trace, every figure runs under its own root span; on exit the
 	// collected traces become one Chrome trace-event file and the aggregated
@@ -153,6 +162,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "figures: wrote %d trace(s) to %s\n\n%s", col.Len(), *tracePath, report)
+	}
+	if *machPath != "" {
+		snap := machstats.Default().Snapshot()
+		paths, err := snap.WriteFiles(*machPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: machstats export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: %s\nfigures: wrote %s\n", snap.FormatSummary(), strings.Join(paths, ", "))
 	}
 }
 

@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"smtflex/internal/buildinfo"
 	"smtflex/internal/checkpoint"
 	"smtflex/internal/core"
+	"smtflex/internal/machstats"
 	"smtflex/internal/obs"
 )
 
@@ -33,6 +35,7 @@ func main() {
 	figures := flag.Bool("figures", false, "append every figure table to the report")
 	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the campaign here and print a time-stack report to stderr")
+	machPath := flag.String("machstats", "", "arm the machine-counter registry and write its snapshot to <path>.json, <path>.stacks.csv and <path>.counters.csv after the campaign")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 
@@ -42,6 +45,13 @@ func main() {
 	}
 
 	sim := core.NewSimulator(core.WithUopCount(*uops), core.WithParallelism(*workers))
+
+	// With -machstats, the machine-counter registry collects CPI stacks and
+	// event counters across the whole campaign; arming it never changes the
+	// report.
+	if *machPath != "" {
+		machstats.Enable()
+	}
 
 	// With -trace, the findings campaign and every figure run under root
 	// spans; the collected traces become one Chrome trace-event file and the
@@ -141,5 +151,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "report: wrote %d trace(s) to %s\n\n%s", col.Len(), *tracePath, report)
+	}
+	if *machPath != "" {
+		snap := machstats.Default().Snapshot()
+		paths, err := snap.WriteFiles(*machPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: machstats export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report: %s\nreport: wrote %s\n", snap.FormatSummary(), strings.Join(paths, ", "))
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"smtflex/internal/buildinfo"
 	"smtflex/internal/core"
 	"smtflex/internal/faults"
+	"smtflex/internal/machstats"
 	"smtflex/internal/server"
 )
 
@@ -61,12 +62,17 @@ func main() {
 	faultSpec := flag.String("faults", "", "DEV ONLY: arm fault injection, e.g. 'solver=error,profiler=latency:50ms,handler=panic:3'")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and trace debug endpoints on this extra address (e.g. 127.0.0.1:6060); keep it loopback-only")
 	traceBuf := flag.Int("trace-buf", 128, "completed request traces kept for /debug/traces (negative disables tracing)")
+	machStats := flag.Bool("machstats", true, "collect simulated-hardware counters and CPI stacks, served at /debug/machstats")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println("smtflexd", buildinfo.Get())
 		return
+	}
+
+	if *machStats {
+		machstats.Enable()
 	}
 
 	if *faultSpec != "" {

@@ -6,9 +6,12 @@
 //	smtsim -design 4B -programs mcf,tonto,hmmer,libquantum
 //	smtsim -design 2B10s -smt=false -programs mcf,mcf,mcf
 //	smtsim -design 4B -engine cycle -uops 100000 -programs tonto,mcf
+//	smtsim -design 4B -xcheck -programs tonto,hmmer
+//	smtsim -design 4B -machstats /tmp/ms -programs tonto,mcf
 //
 // Exit codes: 0 success; 1 an engine error (bad design point, profiling or
-// solver failure); 2 a usage error (unknown flag or engine).
+// solver failure) or a cross-check tolerance violation; 2 a usage error
+// (unknown flag or engine).
 package main
 
 import (
@@ -20,7 +23,9 @@ import (
 
 	"smtflex/internal/buildinfo"
 	"smtflex/internal/core"
+	"smtflex/internal/machstats"
 	"smtflex/internal/obs"
+	"smtflex/internal/validate"
 )
 
 // fail prints a one-line diagnostic and exits: code 1 for engine errors,
@@ -38,12 +43,15 @@ func main() {
 	uops := flag.Uint64("uops", 100_000, "µops per thread for the cycle engine")
 	profUops := flag.Uint64("profile-uops", 200_000, "µops per profiling run for the interval engine")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the run here and print a time-stack report to stderr")
+	machPath := flag.String("machstats", "", "arm the machine-counter registry and write its snapshot to <path>.json, <path>.stacks.csv and <path>.counters.csv")
+	xcheck := flag.Bool("xcheck", false, "cross-validate the interval engine against the cycle engine on this workload, print the component-by-component CPI-stack delta table, and exit 1 if any delta exceeds -xcheck-tol")
+	xcheckTol := flag.Float64("xcheck-tol", validate.DefaultTolerance, "cross-check tolerance: max |cycle-interval| per CPI-stack component, as a fraction of total CPI")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage: smtsim [flags]\n\nFlags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"\nExit codes:\n  0  success\n  1  engine error (bad design, profiling or solver failure)\n  2  usage error (bad flag or engine)\n")
+			"\nExit codes:\n  0  success\n  1  engine error (bad design, profiling or solver failure) or cross-check violation\n  2  usage error (bad flag or engine)\n")
 	}
 	flag.Parse()
 
@@ -58,6 +66,10 @@ func main() {
 		progs[i] = strings.TrimSpace(progs[i])
 	}
 
+	if *machPath != "" {
+		machstats.Enable()
+	}
+
 	var col *obs.Collector
 	if *tracePath != "" {
 		obs.Enable()
@@ -65,8 +77,21 @@ func main() {
 	}
 	tctx, root := obs.StartTrace(context.Background(), col, "smtsim")
 
-	switch *engine {
-	case "interval":
+	switch {
+	case *xcheck:
+		src := sim.Source()
+		ck, err := validate.RunCrossCheck(src, *design, *smt, progs, src.Warmup, src.UopCount, *xcheckTol)
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		fmt.Print(ck.Render())
+		if !ck.OK() {
+			root.End()
+			dumpMachStats(*machPath)
+			fail(1, "cross-check failed: %d component delta(s) exceed %.1f%% of total CPI",
+				len(ck.Failures()), 100*ck.Tolerance)
+		}
+	case *engine == "interval":
 		res, err := sim.RunMixCtx(tctx, *design, *smt, progs)
 		if err != nil {
 			fail(1, "%v", err)
@@ -79,7 +104,13 @@ func main() {
 		fmt.Printf("bus utilization  %.1f %%\n", 100*res.BusUtilization)
 		fmt.Printf("solver           %d iterations, residual %.2e, converged=%t\n",
 			res.Diag.Iterations, res.Diag.Residual, res.Diag.Converged)
-	case "cycle":
+		for i, th := range res.Threads {
+			st := th.Stack
+			fmt.Printf("thread %2d %-12s core=%d ipc=%.3f uops/ns=%.3f cpi=%.3f base=%.3f branch=%.3f icache=%.3f l2=%.3f llc=%.3f mem=%.3f\n",
+				i, th.Program, th.Core, th.IPC, th.UopsPerNs,
+				st.Total(), st.Base, st.Branch, st.ICache, st.L2, st.LLC, st.Mem)
+		}
+	case *engine == "cycle":
 		stats, err := sim.RunCycleAccurate(*design, *smt, progs, *uops)
 		if err != nil {
 			fail(1, "%v", err)
@@ -101,4 +132,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "smtsim: wrote trace to %s\n\n%s", *tracePath, report)
 	}
+	dumpMachStats(*machPath)
+}
+
+// dumpMachStats writes the armed registry's snapshot next to prefix and
+// prints a one-line summary; a no-op with an empty prefix.
+func dumpMachStats(prefix string) {
+	if prefix == "" {
+		return
+	}
+	snap := machstats.Default().Snapshot()
+	paths, err := snap.WriteFiles(prefix)
+	if err != nil {
+		fail(1, "machstats export: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "smtsim: %s\nsmtsim: wrote %s\n", snap.FormatSummary(), strings.Join(paths, ", "))
 }

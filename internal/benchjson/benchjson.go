@@ -1,0 +1,126 @@
+// Package benchjson parses the text output of `go test -bench` into a
+// stable JSON document — the perf-trajectory format the CI bench job
+// archives as BENCH_<date>.json so benchmark history survives as artifacts
+// rather than scrollback.
+//
+// The parser is deliberately tolerant: it keeps the benchmark lines and the
+// goos/goarch/pkg headers, and ignores everything else (test chatter, PASS
+// lines, timings), so it can consume the raw combined stream of a full
+// `go test -bench . ./...` run.
+package benchjson
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, e.g.
+//
+//	BenchmarkFigure8-8    1    123456789 ns/op    4567 B/op    89 allocs/op
+type Result struct {
+	// Name is the benchmark name with the -<procs> suffix stripped.
+	Name string `json:"name"`
+	// Package is the pkg: header in effect when the line was read ("" when
+	// the stream carries none).
+	Package string `json:"package,omitempty"`
+	// Procs is GOMAXPROCS for the run (the -<n> name suffix), 1 if absent.
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric. Zero when the line carried none.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other "<value> <unit>" pair on the line keyed by
+	// unit (B/op, allocs/op, MB/s, custom b.ReportMetric units...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the parsed document.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and returns the structured report.
+// It fails only on malformed Benchmark lines (a name with no fields, or a
+// non-numeric iteration count) — unrecognized lines are skipped.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Package = pkg
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one "BenchmarkName-P  N  v unit  v unit..." line. Lines
+// that merely start with "Benchmark" but carry no fields (a test log line,
+// a benchmark name echoed by -v) are skipped, not errors.
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false, nil
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+	}
+	res := Result{Name: name, Procs: procs, Iterations: iters}
+	// The rest of the line is "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchjson: bad metric value in %q: %w", line, err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = v
+	}
+	return res, true, nil
+}
+
+// splitProcs splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8); a name with
+// no suffix reports procs 1.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p <= 0 {
+		return s, 1
+	}
+	return s[:i], p
+}

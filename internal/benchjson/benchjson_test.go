@@ -1,0 +1,105 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: smtflex
+BenchmarkTable1-8   	       1	 123456789 ns/op	 4567 B/op	      89 allocs/op
+BenchmarkTraceGeneration-8	12345678	        95.2 ns/op
+BenchmarkCycleEngine-8 	 2000000	       512 ns/op	  42.5 MB/s
+PASS
+ok  	smtflex	12.345s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkTable1" || r.Procs != 8 || r.Package != "smtflex" {
+		t.Errorf("result 0 identity: %+v", r)
+	}
+	if r.Iterations != 1 || r.NsPerOp != 123456789 {
+		t.Errorf("result 0 metrics: %+v", r)
+	}
+	if r.Metrics["B/op"] != 4567 || r.Metrics["allocs/op"] != 89 {
+		t.Errorf("result 0 extra metrics: %+v", r.Metrics)
+	}
+	if got := rep.Results[1].NsPerOp; got != 95.2 {
+		t.Errorf("fractional ns/op = %g", got)
+	}
+	if got := rep.Results[2].Metrics["MB/s"]; got != 42.5 {
+		t.Errorf("MB/s = %g", got)
+	}
+}
+
+// TestParseTolerant checks that non-benchmark chatter (including lines that
+// merely start with "Benchmark") is skipped, not fatal.
+func TestParseTolerant(t *testing.T) {
+	in := "=== RUN TestFoo\nBenchmarkNameOnly\n--- PASS: TestFoo\nBenchmarkReal-4 10 100 ns/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "BenchmarkReal" {
+		t.Fatalf("results: %+v", rep.Results)
+	}
+}
+
+// TestParseErrors checks that malformed benchmark lines fail loudly: a
+// silent skip there would quietly truncate the perf trajectory.
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkBad-8 notanumber 100 ns/op\n",
+		"BenchmarkBad-8 10 xyz ns/op\n",
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted malformed line", in)
+		}
+	}
+}
+
+// TestNoProcsSuffix covers benchmark names without the -<procs> suffix
+// (GOMAXPROCS=1 runs) and names whose trailing -segment is not a number.
+func TestNoProcsSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkSolo 5 200 ns/op\nBenchmarkAB-test-2 5 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rep.Results[0]; r.Name != "BenchmarkSolo" || r.Procs != 1 {
+		t.Errorf("no-suffix name: %+v", r)
+	}
+	if r := rep.Results[1]; r.Name != "BenchmarkAB-test" || r.Procs != 2 {
+		t.Errorf("dashed name: %+v", r)
+	}
+}
+
+// TestJSONShape pins the document's key names — downstream trajectory
+// tooling greps these.
+func TestJSONShape(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"goos"`, `"goarch"`, `"results"`, `"name"`, `"procs"`, `"iterations"`, `"ns_per_op"`} {
+		if !strings.Contains(string(body), key) {
+			t.Errorf("JSON missing key %s:\n%s", key, body)
+		}
+	}
+}

@@ -4,6 +4,8 @@
 // SMT cores statically partition predictor state along with the ROB).
 package branch
 
+import "smtflex/internal/machstats"
+
 // Predictor predicts conditional branch directions and learns from outcomes.
 type Predictor interface {
 	// Predict returns the predicted direction for the branch at pc.
@@ -24,6 +26,17 @@ func (s Stats) MispredictRate() float64 {
 		return 0
 	}
 	return float64(s.Mispredicts) / float64(s.Lookups)
+}
+
+// Publish adds the stats to the machine-counter registry under scope (e.g.
+// "branch" yields branch.lookups and branch.mispredicts). A no-op costing
+// one atomic load while machstats is disabled.
+func (s Stats) Publish(scope string) {
+	if !machstats.Enabled() {
+		return
+	}
+	machstats.Add(scope+".lookups", s.Lookups)
+	machstats.Add(scope+".mispredicts", s.Mispredicts)
 }
 
 // counter is a 2-bit saturating counter; values 2..3 predict taken.

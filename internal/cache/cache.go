@@ -10,6 +10,7 @@ import (
 	"math/bits"
 
 	"smtflex/internal/isa"
+	"smtflex/internal/machstats"
 )
 
 // ErrBadConfig is wrapped by every cache-geometry validation failure.
@@ -39,6 +40,18 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Publish adds the stats to the machine-counter registry under scope (e.g.
+// "cache.l1d" yields cache.l1d.accesses, .misses, .writebacks). A no-op
+// costing one atomic load while machstats is disabled.
+func (s Stats) Publish(scope string) {
+	if !machstats.Enabled() {
+		return
+	}
+	machstats.Add(scope+".accesses", s.Accesses)
+	machstats.Add(scope+".misses", s.Misses)
+	machstats.Add(scope+".writebacks", s.Writebacks)
 }
 
 // Config describes one cache level.

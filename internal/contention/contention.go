@@ -14,6 +14,7 @@ import (
 	"smtflex/internal/config"
 	"smtflex/internal/faults"
 	"smtflex/internal/interval"
+	"smtflex/internal/machstats"
 	"smtflex/internal/obs"
 )
 
@@ -316,7 +317,31 @@ func SolveModel(p Placement, m Model) (Result, error) {
 	}
 	res.MemLatencyNs = memLatNs
 	res.BusUtilization = math.Min(traffic*blockBytes/p.Design.MemBandwidthGBps, 1)
+	publishMachStats(p, res)
 	return res, nil
+}
+
+// publishMachStats records the converged solve into the machine-counter
+// registry: one interval-engine CPI-stack record per thread plus solver
+// counters. A no-op costing one atomic load while machstats is disabled;
+// the solve's numerical result is never touched.
+func publishMachStats(p Placement, res Result) {
+	if !machstats.Enabled() {
+		return
+	}
+	machstats.Add("interval.solver.solves", 1)
+	machstats.Add("interval.solver.iterations", uint64(res.Diag.Iterations))
+	machstats.Add("interval.threads_solved", uint64(len(res.Threads)))
+	for i, tr := range res.Threads {
+		machstats.RecordStack(machstats.StackRecord{
+			Engine:     "interval",
+			Design:     p.Design.Name,
+			Benchmark:  p.Profiles[i].Benchmark,
+			Core:       p.CoreOf[i],
+			Thread:     i,
+			Components: tr.Stack.Components(),
+		})
+	}
 }
 
 // smtOccupancy returns how many threads concurrently share the core's

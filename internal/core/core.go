@@ -166,7 +166,9 @@ func (s *Simulator) RunCycleAccurate(designName string, smt bool, programs []str
 			return nil, err
 		}
 	}
-	return chip.Run(uops), nil
+	stats := chip.Run(uops)
+	chip.PublishMachStats(programs)
+	return stats, nil
 }
 
 // figureFunc builds one table.

@@ -18,6 +18,7 @@ import (
 	"smtflex/internal/cache"
 	"smtflex/internal/config"
 	"smtflex/internal/isa"
+	"smtflex/internal/machstats"
 	"smtflex/internal/trace"
 )
 
@@ -106,6 +107,25 @@ func (s ThreadStats) FetchStallCPI() float64 {
 		return 0
 	}
 	return s.FetchStallCycles / float64(s.Uops)
+}
+
+// Stack returns the thread's measured CPI decomposition in machstats'
+// canonical component vocabulary. The cycle engine's memory-stall attribution
+// is level-blind, so the stack has four components (base, branch, icache,
+// mem) with base as the residual — by construction the components sum to
+// CPI() up to floating-point rounding, the conservation property the
+// counter-conservation test checks. A thread that retired nothing returns an
+// all-zero stack (every accessor guards the division).
+func (s ThreadStats) Stack() []machstats.Component {
+	br := s.BranchStallCPI()
+	ic := s.FetchStallCPI()
+	mem := s.MemStallCPI()
+	return []machstats.Component{
+		{Name: machstats.CompBase, CPI: s.CPI() - br - ic - mem},
+		{Name: machstats.CompBranch, CPI: br},
+		{Name: machstats.CompICache, CPI: ic},
+		{Name: machstats.CompMem, CPI: mem},
+	}
 }
 
 // IPC returns µops per cycle.

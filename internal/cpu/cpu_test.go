@@ -323,6 +323,35 @@ func TestThreadStatsAccessors(t *testing.T) {
 	}
 }
 
+// TestThreadStatsZeroUops pins the division-by-zero guards: a thread that
+// retired nothing must report zero — not NaN — for every derived CPI, even
+// when stall cycles were attributed before the first retirement, and its
+// Stack() must be all-zero so exported records stay finite.
+func TestThreadStatsZeroUops(t *testing.T) {
+	s := ThreadStats{
+		FinishTime:        100,
+		MemStallCycles:    5,
+		BranchStallCycles: 3,
+		FetchStallCycles:  2,
+	}
+	for name, got := range map[string]float64{
+		"CPI":            s.CPI(),
+		"IPC":            s.IPC(),
+		"MemStallCPI":    s.MemStallCPI(),
+		"BranchStallCPI": s.BranchStallCPI(),
+		"FetchStallCPI":  s.FetchStallCPI(),
+	} {
+		if got != 0 {
+			t.Errorf("%s = %g with zero uops, want 0", name, got)
+		}
+	}
+	for _, c := range s.Stack() {
+		if c.CPI != 0 {
+			t.Errorf("Stack component %s = %g with zero uops, want 0", c.Name, c.CPI)
+		}
+	}
+}
+
 func TestNewCoreRejectsBadInput(t *testing.T) {
 	if _, err := NewCore(config.BigCore(), 0, nil, false, Ideal{}); err == nil {
 		t.Fatal("nil memory accepted")

@@ -19,6 +19,7 @@ import (
 	"smtflex/internal/cache"
 	"smtflex/internal/config"
 	"smtflex/internal/isa"
+	"smtflex/internal/machstats"
 )
 
 // Profile characterizes one benchmark on one core microarchitecture.
@@ -153,6 +154,21 @@ type CPIStack struct {
 // Total returns the full CPI.
 func (s CPIStack) Total() float64 {
 	return s.Base + s.Branch + s.ICache + s.L2 + s.LLC + s.Mem
+}
+
+// Components returns the stack in machstats' canonical component vocabulary
+// and order. Summing the components left to right reproduces Total() exactly
+// (same additions, same order) — the conservation property the
+// counter-conservation test pins.
+func (s CPIStack) Components() []machstats.Component {
+	return []machstats.Component{
+		{Name: machstats.CompBase, CPI: s.Base},
+		{Name: machstats.CompBranch, CPI: s.Branch},
+		{Name: machstats.CompICache, CPI: s.ICache},
+		{Name: machstats.CompL2, CPI: s.L2},
+		{Name: machstats.CompLLC, CPI: s.LLC},
+		{Name: machstats.CompMem, CPI: s.Mem},
+	}
 }
 
 // blocks converts a byte capacity to cache blocks for curve lookups.

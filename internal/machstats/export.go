@@ -1,0 +1,123 @@
+package machstats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The canonical CPI-stack component names, in export order. Both engines use
+// this vocabulary: the interval model emits all six, the cycle engine emits
+// base/branch/icache/mem (its memory stall attribution is level-blind, so l2
+// and llc fold into mem). Downstream tooling and the golden-file tests
+// depend on these exact strings.
+const (
+	CompBase   = "base"
+	CompBranch = "branch"
+	CompICache = "icache"
+	CompL2     = "l2"
+	CompLLC    = "llc"
+	CompMem    = "mem"
+)
+
+// ComponentNames lists the canonical component vocabulary in export order.
+func ComponentNames() []string {
+	return []string{CompBase, CompBranch, CompICache, CompL2, CompLLC, CompMem}
+}
+
+// WriteJSON renders the snapshot as indented JSON. The schema is stable:
+// counters and cycles sorted by name, stacks oldest first, components in
+// engine order.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// stackCSVHeader is the stable column order of the CPI-stack CSV export.
+// One row per (thread, component): long form, so records with different
+// component sets (cycle vs interval) share one schema.
+var stackCSVHeader = []string{"engine", "design", "benchmark", "core", "thread", "component", "cpi"}
+
+// WriteStacksCSV renders the snapshot's CPI-stack records as CSV, one row
+// per component plus a "total" row per record.
+func (s Snapshot) WriteStacksCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(stackCSVHeader); err != nil {
+		return err
+	}
+	for _, rec := range s.Stacks {
+		row := func(component string, cpi float64) []string {
+			return []string{
+				rec.Engine, rec.Design, rec.Benchmark,
+				strconv.Itoa(rec.Core), strconv.Itoa(rec.Thread),
+				component, formatCPI(cpi),
+			}
+		}
+		for _, c := range rec.Components {
+			if err := cw.Write(row(c.Name, c.CPI)); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write(row("total", rec.Total())); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// counterCSVHeader is the stable column order of the counter CSV export.
+var counterCSVHeader = []string{"kind", "name", "value"}
+
+// WriteCountersCSV renders the snapshot's counters and cycle accumulators as
+// CSV: counters first, then cycles, each sorted by name.
+func (s Snapshot) WriteCountersCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(counterCSVHeader); err != nil {
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := cw.Write([]string{"counter", c.Name, strconv.FormatUint(c.Value, 10)}); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Cycles {
+		if err := cw.Write([]string{"cycles", c.Name, formatCPI(c.Cycles)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatCPI renders a float with enough precision to round-trip CPI values
+// without locking the schema to a fixed decimal count.
+func formatCPI(v float64) string { return strconv.FormatFloat(v, 'g', 9, 64) }
+
+// Render materializes the three export documents (JSON, stacks CSV, counters
+// CSV) as strings — the exporter behind the CLIs' -machstats flag and the
+// golden-file tests.
+func (s Snapshot) Render() (jsonBody, stacksCSV, countersCSV string, err error) {
+	var jb, sb, cb strings.Builder
+	if err = s.WriteJSON(&jb); err != nil {
+		return
+	}
+	if err = s.WriteStacksCSV(&sb); err != nil {
+		return
+	}
+	if err = s.WriteCountersCSV(&cb); err != nil {
+		return
+	}
+	return jb.String(), sb.String(), cb.String(), nil
+}
+
+// FormatSummary renders a short human-readable summary of the snapshot for
+// CLI stderr: how many counters, accumulators and stack records it holds.
+func (s Snapshot) FormatSummary() string {
+	return fmt.Sprintf("%d counter(s), %d cycle accumulator(s), %d CPI-stack record(s)",
+		len(s.Counters), len(s.Cycles), len(s.Stacks))
+}

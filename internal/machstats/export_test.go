@@ -1,0 +1,116 @@
+package machstats
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden export files")
+
+// goldenSnapshot is a fixed registry state covering both engines, so the
+// golden files pin the full export vocabulary.
+func goldenSnapshot() Snapshot {
+	r := NewRegistry(8)
+	r.Counter("cache.l1d.accesses").Add(12000)
+	r.Counter("cache.l1d.misses").Add(340)
+	r.Counter("dram.accesses").Add(55)
+	r.Counter("solver.solves").Add(3)
+	r.Cycles("cycle.mem_stall").Add(1234.5)
+	r.Cycles("cycle.total").Add(80000)
+	r.RecordStack(StackRecord{
+		Engine: "cycle", Design: "4B", Benchmark: "mcf", Core: 0, Thread: 0,
+		Components: []Component{
+			{CompBase, 0.612}, {CompBranch, 0.031}, {CompICache, 0.008}, {CompMem, 1.975},
+		},
+	})
+	r.RecordStack(StackRecord{
+		Engine: "interval", Design: "4B", Benchmark: "mcf", Core: 0, Thread: 0,
+		Components: []Component{
+			{CompBase, 0.608}, {CompBranch, 0.03}, {CompICache, 0.007},
+			{CompL2, 0.22}, {CompLLC, 0.55}, {CompMem, 1.21},
+		},
+	})
+	return r.Snapshot()
+}
+
+// checkGolden compares got against testdata/<name>, rewriting under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/machstats -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden file.\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+// TestGoldenExports pins the machstats export schemas — key names, column
+// order, value formatting — so downstream tooling can depend on them.
+func TestGoldenExports(t *testing.T) {
+	jsonBody, stacksCSV, countersCSV, err := goldenSnapshot().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.json", jsonBody)
+	checkGolden(t, "stacks.csv", stacksCSV)
+	checkGolden(t, "counters.csv", countersCSV)
+}
+
+// TestJSONSchemaKeys asserts the stable JSON key names independent of the
+// golden bytes, so a deliberate golden refresh cannot silently rename keys.
+func TestJSONSchemaKeys(t *testing.T) {
+	jsonBody, _, _, err := goldenSnapshot().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(jsonBody), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"counters", "cycles", "stacks"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("snapshot JSON lost top-level key %q", key)
+		}
+	}
+	stacks := doc["stacks"].([]any)
+	first := stacks[0].(map[string]any)
+	for _, key := range []string{"engine", "design", "benchmark", "core", "thread", "components"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("stack record JSON lost key %q", key)
+		}
+	}
+}
+
+// TestCSVColumnOrder asserts the stable CSV headers independent of the golden
+// bytes.
+func TestCSVColumnOrder(t *testing.T) {
+	_, stacksCSV, countersCSV, err := goldenSnapshot().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stacksCSV, "engine,design,benchmark,core,thread,component,cpi\n") {
+		t.Errorf("stacks CSV header drifted: %q", strings.SplitN(stacksCSV, "\n", 2)[0])
+	}
+	if !strings.HasPrefix(countersCSV, "kind,name,value\n") {
+		t.Errorf("counters CSV header drifted: %q", strings.SplitN(countersCSV, "\n", 2)[0])
+	}
+	// Every stack record ends with its conservation row.
+	if !strings.Contains(stacksCSV, ",total,") {
+		t.Errorf("stacks CSV lost the total row:\n%s", stacksCSV)
+	}
+}

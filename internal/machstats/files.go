@@ -1,0 +1,21 @@
+package machstats
+
+import "os"
+
+// WriteFiles writes the snapshot's three export artifacts next to prefix:
+// prefix.json (the full snapshot), prefix.stacks.csv (the CPI-stack records
+// in long form) and prefix.counters.csv (counters and cycle accumulators).
+// It returns the paths written, in that order.
+func (s Snapshot) WriteFiles(prefix string) ([]string, error) {
+	jsonBody, stacksCSV, countersCSV, err := s.Render()
+	if err != nil {
+		return nil, err
+	}
+	paths := []string{prefix + ".json", prefix + ".stacks.csv", prefix + ".counters.csv"}
+	for i, body := range []string{jsonBody, stacksCSV, countersCSV} {
+		if err := os.WriteFile(paths[i], []byte(body), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,293 @@
+// Package machstats is the simulated machine's hardware-counter registry:
+// named event counters (cache accesses, DRAM transfers, retired µops),
+// per-component cycle accumulators, and a bounded ring of per-thread CPI-stack
+// observations from both modelling layers (the cycle engine and the interval
+// engine).
+//
+// PR 4's internal/obs made the *engine* observable (where does wall time go?);
+// machstats makes the *machine* observable (where do simulated cycles go?).
+// The CPI stack is the paper's own methodology — Eyerman-style decomposition
+// of cycles per instruction into base, branch, fetch and memory components —
+// and this package turns every simulation into a source of those stacks, the
+// way SYNPA-style schedulers reason from hardware counters.
+//
+// The design mirrors internal/faults and internal/obs: collection is globally
+// disabled by default and the disabled fast path is a single atomic load, so
+// counting calls stay in place at every machine boundary (cache access, DRAM
+// transfer, solver finalization, chip run) at no measurable cost, and results
+// are bit-identical with collection on or off — counters only observe.
+package machstats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// toBits and fromBits convert between float64 values and the uint64 bit
+// patterns the atomic accumulator stores.
+func toBits(v float64) uint64   { return math.Float64bits(v) }
+func fromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// enabled is the disabled-path gate, mirroring internal/faults.active and
+// internal/obs.enabled.
+var enabled atomic.Bool
+
+// Enable turns counter collection on process-wide. The daemon enables it at
+// construction; CLIs enable it under -machstats.
+func Enable() { enabled.Store(true) }
+
+// Disable turns collection off again (tests).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether collection is armed. The negative path is one
+// atomic load.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is one named monotonic event counter. Safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Cycles is one named float64 cycle accumulator (the timestamp engines count
+// cycles fractionally). Safe for concurrent use via CAS on the bit pattern.
+type Cycles struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v cycles.
+func (c *Cycles) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		cur := fromBits(old)
+		if c.bits.CompareAndSwap(old, toBits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Load returns the accumulated cycles.
+func (c *Cycles) Load() float64 { return fromBits(c.bits.Load()) }
+
+// Component is one named CPI-stack component. Names come from the canonical
+// set: base, branch, icache, l2, llc, mem (the cycle engine folds its
+// level-blind memory stall into mem).
+type Component struct {
+	Name string  `json:"name"`
+	CPI  float64 `json:"cpi"`
+}
+
+// StackRecord is one per-thread CPI-stack observation from a simulation.
+type StackRecord struct {
+	// Engine is "cycle" or "interval" — which modelling layer produced it.
+	Engine string `json:"engine"`
+	// Design is the design point's name.
+	Design string `json:"design"`
+	// Benchmark is the workload the thread ran.
+	Benchmark string `json:"benchmark"`
+	// Core and Thread locate the hardware context.
+	Core   int `json:"core"`
+	Thread int `json:"thread"`
+	// Components is the ordered CPI decomposition.
+	Components []Component `json:"components"`
+}
+
+// Total sums the components in order, so it matches any consumer that adds
+// them left to right bit-for-bit.
+func (r StackRecord) Total() float64 {
+	var t float64
+	for _, c := range r.Components {
+		t += c.CPI
+	}
+	return t
+}
+
+// Registry is a concurrency-safe collection of counters, cycle accumulators
+// and CPI-stack records. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	cycles   map[string]*Cycles
+
+	// stacks is a bounded ring of the most recent CPI-stack observations;
+	// next/filled implement the same eviction as obs.Collector.
+	stacks []StackRecord
+	next   int
+	filled bool
+}
+
+// DefaultStackCap bounds the default registry's CPI-stack ring: large enough
+// to hold every thread of the widest sweep's most recent evaluations, small
+// enough that a long-running daemon's memory stays flat.
+const DefaultStackCap = 512
+
+// NewRegistry returns a Registry keeping the most recent stackCap CPI-stack
+// records (DefaultStackCap when stackCap <= 0).
+func NewRegistry(stackCap int) *Registry {
+	if stackCap <= 0 {
+		stackCap = DefaultStackCap
+	}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		cycles:   make(map[string]*Cycles),
+		stacks:   make([]StackRecord, stackCap),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Cycles returns the named cycle accumulator, creating it on first use.
+func (r *Registry) Cycles(name string) *Cycles {
+	r.mu.RLock()
+	c := r.cycles[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.cycles[name]; c == nil {
+		c = &Cycles{}
+		r.cycles[name] = c
+	}
+	return c
+}
+
+// RecordStack inserts one CPI-stack observation, evicting the oldest past
+// capacity.
+func (r *Registry) RecordStack(rec StackRecord) {
+	r.mu.Lock()
+	r.stacks[r.next] = rec
+	r.next++
+	if r.next == len(r.stacks) {
+		r.next, r.filled = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Reset clears every counter, accumulator and stack record (tests, and the
+// CLIs' per-run exports).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.cycles = make(map[string]*Cycles)
+	for i := range r.stacks {
+		r.stacks[i] = StackRecord{}
+	}
+	r.next, r.filled = 0, false
+}
+
+// CounterSample is one exported counter value.
+type CounterSample struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// CycleSample is one exported cycle-accumulator value.
+type CycleSample struct {
+	Name   string  `json:"name"`
+	Cycles float64 `json:"cycles"`
+}
+
+// Snapshot is the stable export form of a Registry: counters and cycle
+// accumulators sorted by name, stack records oldest first. Downstream tooling
+// (the golden-file tests, the /debug/machstats scrapers) depends on this
+// ordering.
+type Snapshot struct {
+	Counters []CounterSample `json:"counters"`
+	Cycles   []CycleSample   `json:"cycles"`
+	Stacks   []StackRecord   `json:"stacks"`
+}
+
+// Snapshot renders the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters: make([]CounterSample, 0, len(r.counters)),
+		Cycles:   make([]CycleSample, 0, len(r.cycles)),
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSample{Name: name, Value: c.Load()})
+	}
+	for name, c := range r.cycles {
+		s.Cycles = append(s.Cycles, CycleSample{Name: name, Cycles: c.Load()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Cycles, func(i, j int) bool { return s.Cycles[i].Name < s.Cycles[j].Name })
+	n := r.next
+	if r.filled {
+		n = len(r.stacks)
+	}
+	s.Stacks = make([]StackRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// Oldest first: with a filled ring the oldest record sits at next.
+		idx := i
+		if r.filled {
+			idx = (r.next + i) % len(r.stacks)
+		}
+		s.Stacks = append(s.Stacks, r.stacks[idx])
+	}
+	return s
+}
+
+// def is the process-wide default registry behind the package-level helpers.
+var def atomic.Pointer[Registry]
+
+func init() { def.Store(NewRegistry(0)) }
+
+// Default returns the process-wide registry.
+func Default() *Registry { return def.Load() }
+
+// Add increments the named counter in the default registry; a no-op costing
+// one atomic load when collection is disabled.
+func Add(name string, n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	Default().Counter(name).Add(n)
+}
+
+// AddCycles accumulates cycles in the default registry; a no-op costing one
+// atomic load when collection is disabled.
+func AddCycles(name string, v float64) {
+	if !enabled.Load() {
+		return
+	}
+	Default().Cycles(name).Add(v)
+}
+
+// RecordStack records a CPI-stack observation in the default registry; a
+// no-op costing one atomic load when collection is disabled.
+func RecordStack(rec StackRecord) {
+	if !enabled.Load() {
+		return
+	}
+	Default().RecordStack(rec)
+}
+
+// Reset clears the default registry (tests and CLI runs).
+func Reset() { Default().Reset() }

@@ -1,0 +1,139 @@
+package machstats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mustDisabled restores the disabled default after a test that arms the gate.
+func mustDisabled(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		Disable()
+		Reset()
+	})
+}
+
+func TestDisabledPathIsNoOp(t *testing.T) {
+	mustDisabled(t)
+	Disable()
+	Reset()
+	Add("cache.l1d.accesses", 5)
+	AddCycles("core0.mem_stall", 3.5)
+	RecordStack(StackRecord{Engine: "cycle"})
+	snap := Default().Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Cycles) != 0 || len(snap.Stacks) != 0 {
+		t.Fatalf("disabled collection left state behind: %+v", snap)
+	}
+}
+
+func TestEnabledCollects(t *testing.T) {
+	mustDisabled(t)
+	Enable()
+	Reset()
+	Add("dram.accesses", 2)
+	Add("dram.accesses", 3)
+	AddCycles("core0.mem_stall", 1.25)
+	AddCycles("core0.mem_stall", 0.75)
+	RecordStack(StackRecord{Engine: "interval", Design: "4B", Benchmark: "mcf",
+		Components: []Component{{CompBase, 0.5}, {CompMem, 1.5}}})
+	snap := Default().Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 5 {
+		t.Fatalf("counter = %+v, want dram.accesses=5", snap.Counters)
+	}
+	if len(snap.Cycles) != 1 || snap.Cycles[0].Cycles != 2.0 {
+		t.Fatalf("cycles = %+v, want core0.mem_stall=2", snap.Cycles)
+	}
+	if len(snap.Stacks) != 1 || snap.Stacks[0].Total() != 2.0 {
+		t.Fatalf("stacks = %+v", snap.Stacks)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := NewRegistry(4)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Add(1)
+		r.Cycles(name).Add(1)
+	}
+	snap := r.Snapshot()
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i-1].Name >= snap.Counters[i].Name {
+			t.Fatalf("counters not sorted: %+v", snap.Counters)
+		}
+	}
+	for i := 1; i < len(snap.Cycles); i++ {
+		if snap.Cycles[i-1].Name >= snap.Cycles[i].Name {
+			t.Fatalf("cycles not sorted: %+v", snap.Cycles)
+		}
+	}
+}
+
+func TestStackRingEvictsOldest(t *testing.T) {
+	r := NewRegistry(3)
+	for i := 0; i < 5; i++ {
+		r.RecordStack(StackRecord{Thread: i})
+	}
+	snap := r.Snapshot()
+	if len(snap.Stacks) != 3 {
+		t.Fatalf("ring kept %d records, want 3", len(snap.Stacks))
+	}
+	// Oldest first: records 2, 3, 4 survive.
+	for i, want := range []int{2, 3, 4} {
+		if snap.Stacks[i].Thread != want {
+			t.Fatalf("stacks[%d].Thread = %d, want %d (%+v)", i, snap.Stacks[i].Thread, want, snap.Stacks)
+		}
+	}
+}
+
+func TestRegistryConcurrentCounters(t *testing.T) {
+	r := NewRegistry(64)
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared").Add(1)
+				r.Cycles("shared").Add(0.5)
+				r.Counter(fmt.Sprintf("own.%d", g)).Add(1)
+				r.RecordStack(StackRecord{Thread: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != goroutines*perG {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Cycles("shared").Load(); got != goroutines*perG*0.5 {
+		t.Fatalf("shared cycles = %g, want %g", got, float64(goroutines*perG)*0.5)
+	}
+	snap := r.Snapshot()
+	if len(snap.Stacks) != 64 {
+		t.Fatalf("ring holds %d records, want capacity 64", len(snap.Stacks))
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := NewRegistry(4)
+	r.Counter("a").Add(1)
+	r.Cycles("b").Add(1)
+	r.RecordStack(StackRecord{})
+	r.Reset()
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Cycles)+len(snap.Stacks) != 0 {
+		t.Fatalf("reset left state: %+v", snap)
+	}
+}
+
+func TestStackRecordTotalSumsInOrder(t *testing.T) {
+	rec := StackRecord{Components: []Component{
+		{CompBase, 0.7}, {CompBranch, 0.01}, {CompICache, 0.02},
+		{CompL2, 0.1}, {CompLLC, 0.2}, {CompMem, 1.3},
+	}}
+	want := 0.7 + 0.01 + 0.02 + 0.1 + 0.2 + 1.3
+	if rec.Total() != want {
+		t.Fatalf("Total() = %v, want %v (left-to-right sum)", rec.Total(), want)
+	}
+}

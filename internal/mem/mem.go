@@ -8,6 +8,8 @@ package mem
 import (
 	"errors"
 	"fmt"
+
+	"smtflex/internal/machstats"
 )
 
 // ErrBadConfig is wrapped by every memory-configuration validation failure.
@@ -69,6 +71,20 @@ func (s Stats) AvgLatency() float64 {
 		return 0
 	}
 	return float64(s.TotalLatency) / float64(s.Accesses)
+}
+
+// Publish adds the stats to the machine-counter registry under scope
+// (conventionally "dram"): accesses, writebacks, and the latency and
+// bus-stall cycle accumulators. A no-op costing one atomic load while
+// machstats is disabled.
+func (s Stats) Publish(scope string) {
+	if !machstats.Enabled() {
+		return
+	}
+	machstats.Add(scope+".accesses", s.Accesses)
+	machstats.Add(scope+".writebacks", s.Writebacks)
+	machstats.AddCycles(scope+".latency_cycles", float64(s.TotalLatency))
+	machstats.AddCycles(scope+".bus_stall_cycles", float64(s.BusStallTotal))
 }
 
 // DRAM is the cycle-engine memory model. Each bank and the bus are modelled

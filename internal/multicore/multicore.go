@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"math"
 
+	"smtflex/internal/branch"
 	"smtflex/internal/cache"
 	"smtflex/internal/config"
 	"smtflex/internal/cpu"
 	"smtflex/internal/isa"
+	"smtflex/internal/machstats"
 	"smtflex/internal/mem"
 	"smtflex/internal/trace"
 )
@@ -231,4 +233,48 @@ func (c *Chip) DRAMStats() mem.Stats { return c.dram.Stats }
 func (c *Chip) CoreCacheStats(i int) (l1i, l1d, l2 cache.Stats) {
 	m := c.mems[i]
 	return m.l1i.Stats, m.l1d.Stats, m.l2.Stats
+}
+
+// PublishMachStats publishes the chip's accumulated machine state into the
+// machstats registry: per-thread CPI-stack records (engine "cycle"),
+// per-thread event counters, per-core private-cache counters, and the
+// shared LLC and DRAM counters. benchmarks labels each chip thread by the
+// workload it ran; a short or nil slice leaves the label empty. A no-op
+// costing one atomic load while machstats is disabled, so default runs pay
+// nothing and stay bit-identical — the chip is never mutated here.
+func (c *Chip) PublishMachStats(benchmarks []string) {
+	if !machstats.Enabled() {
+		return
+	}
+	for id, loc := range c.threads {
+		st := c.cores[loc.core].ThreadStats(loc.ctx)
+		bench := ""
+		if id < len(benchmarks) {
+			bench = benchmarks[id]
+		}
+		machstats.RecordStack(machstats.StackRecord{
+			Engine:     "cycle",
+			Design:     c.design.Name,
+			Benchmark:  bench,
+			Core:       loc.core,
+			Thread:     id,
+			Components: st.Stack(),
+		})
+		machstats.Add("cycle.uops", st.Uops)
+		machstats.Add("cycle.loads", st.Loads)
+		machstats.Add("cycle.stores", st.Stores)
+		branch.Stats{Lookups: st.Branches, Mispredicts: st.Mispredicts}.Publish("cycle.branch")
+		machstats.AddCycles("cycle.mem_stall_cycles", st.MemStallCycles)
+		machstats.AddCycles("cycle.branch_stall_cycles", st.BranchStallCycles)
+		machstats.AddCycles("cycle.fetch_stall_cycles", st.FetchStallCycles)
+	}
+	for i := range c.mems {
+		l1i, l1d, l2 := c.CoreCacheStats(i)
+		l1i.Publish("cycle.cache.l1i")
+		l1d.Publish("cycle.cache.l1d")
+		l2.Publish("cycle.cache.l2")
+	}
+	c.llc.Stats.Publish("cycle.cache.llc")
+	c.dram.Stats.Publish("cycle.dram")
+	machstats.Add("cycle.chip_runs", 1)
 }

@@ -33,6 +33,9 @@ type SweepResponse struct {
 	// every evaluation in the sweep: the worst-case iteration count and final
 	// residual, and whether every solve terminated by convergence.
 	Solver SolverDiag `json:"solver"`
+	// MachStats carries the CPI-stack attachment when the request asked for
+	// it with ?machstats=1; absent otherwise.
+	MachStats *SweepMachStats `json:"mach_stats,omitempty"`
 }
 
 // SolverDiag is the wire form of the solver's convergence diagnostics.
@@ -40,6 +43,36 @@ type SolverDiag struct {
 	Iterations int     `json:"iterations"`
 	Residual   float64 `json:"residual"`
 	Converged  bool    `json:"converged"`
+}
+
+// StackComponent is one component of a CPI stack on the wire.
+type StackComponent struct {
+	Component string  `json:"component"`
+	CPI       float64 `json:"cpi"`
+}
+
+// ThreadStack is one thread's placement and CPI-stack detail on the wire.
+type ThreadStack struct {
+	Program   string           `json:"program"`
+	Core      int              `json:"core"`
+	IPC       float64          `json:"ipc"`
+	UopsPerNs float64          `json:"uops_per_ns"`
+	Total     float64          `json:"total_cpi"`
+	Stack     []StackComponent `json:"stack"`
+}
+
+// SweepMachStats is the optional machine-stats attachment of a sweep
+// response (?machstats=1): the mean per-thread CPI stack at each thread
+// count, index i being thread count i+1.
+type SweepMachStats struct {
+	MeanStacks [][]StackComponent `json:"mean_stacks"`
+}
+
+// PlaceMachStats is the optional machine-stats attachment of a placement
+// response (?machstats=1): the per-thread CPI stacks, indexed like the
+// request's programs.
+type PlaceMachStats struct {
+	Threads []ThreadStack `json:"threads"`
 }
 
 // PlaceRequest asks for a single scheduling query: place the given programs
@@ -62,6 +95,9 @@ type PlaceResponse struct {
 	WattsUngated   float64    `json:"watts_ungated"`
 	BusUtilization float64    `json:"bus_utilization"`
 	Solver         SolverDiag `json:"solver"`
+	// MachStats carries the per-thread CPI stacks when the request asked for
+	// them with ?machstats=1; absent otherwise.
+	MachStats *PlaceMachStats `json:"mach_stats,omitempty"`
 }
 
 // JobsimRequest runs the dynamic job-stream scenario on each named design.

@@ -91,5 +91,6 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("GET /debug/timestack", s.handleTimestack)
+	mux.HandleFunc("GET /debug/machstats", s.handleMachStats)
 	return mux
 }

@@ -153,12 +153,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("POST /v1/sweep", s.endpoint("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/sweep", s.handleSweepStream)
 	s.mux.Handle("POST /v1/place", s.endpoint("/v1/place", s.handlePlace))
 	s.mux.Handle("GET /v1/figures/{id}", s.endpoint("/v1/figures", s.handleFigure))
 	s.mux.Handle("POST /v1/jobsim", s.endpoint("/v1/jobsim", s.handleJobsim))
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /debug/timestack", s.handleTimestack)
+	s.mux.HandleFunc("GET /debug/machstats", s.handleMachStats)
 	return s, nil
 }
 
@@ -469,6 +471,13 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) (any, error) 
 	if err != nil {
 		return nil, err
 	}
+	return s.sweepResponse(d, kind, sw, wantMachStats(r)), nil
+}
+
+// sweepResponse converts an engine sweep into its wire form, optionally
+// attaching the CPI-stack detail. Shared by the POST endpoint and the SSE
+// stream's result event.
+func (s *Server) sweepResponse(d config.Design, kind study.Kind, sw *study.Sweep, withMach bool) SweepResponse {
 	resp := SweepResponse{
 		Design:   d.Name,
 		Kind:     kind.String(),
@@ -486,7 +495,10 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) (any, error) 
 		Residual:   sw.SolverResidual,
 		Converged:  sw.SolverConverged,
 	}
-	return resp, nil
+	if withMach {
+		resp.MachStats = sweepMachStats(sw)
+	}
+	return resp
 }
 
 func (s *Server) handlePlace(ctx context.Context, r *http.Request) (any, error) {
@@ -521,7 +533,7 @@ func (s *Server) handlePlace(ctx context.Context, r *http.Request) (any, error) 
 	if err != nil {
 		return nil, err
 	}
-	return PlaceResponse{
+	resp := PlaceResponse{
 		Design:         d.Name,
 		CoreOf:         append([]int(nil), placement.CoreOf...),
 		STP:            res.STP,
@@ -534,7 +546,11 @@ func (s *Server) handlePlace(ctx context.Context, r *http.Request) (any, error) 
 			Residual:   res.Diag.Residual,
 			Converged:  res.Diag.Converged,
 		},
-	}, nil
+	}
+	if wantMachStats(r) {
+		resp.MachStats = placeMachStats(res.Threads)
+	}
+	return resp, nil
 }
 
 func (s *Server) handleFigure(ctx context.Context, r *http.Request) (any, error) {

@@ -1,0 +1,183 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"smtflex/internal/config"
+	"smtflex/internal/machstats"
+)
+
+// TestSweepBitIdenticalWithMachstats is the machine-counter layer's
+// correctness contract: arming machstats must not change a single bit of the
+// engine's output. Two cold studies sweep the same design, one dark and one
+// with counters armed, and the tables must agree exactly; the armed run must
+// also have populated interval CPI-stack records and solver counters.
+func TestSweepBitIdenticalWithMachstats(t *testing.T) {
+	d, err := config.DesignByName("2B4m", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	machstats.Disable()
+	dark := newEngineStudy(4)
+	swDark, err := dark.SweepDesign(context.Background(), d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	machstats.Reset()
+	machstats.Enable()
+	t.Cleanup(machstats.Disable)
+	armed := newEngineStudy(4)
+	swArmed, err := armed.SweepDesign(context.Background(), d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fmt.Sprintf("%+v", swDark) != fmt.Sprintf("%+v", swArmed) {
+		t.Fatal("sweep tables differ with machstats enabled")
+	}
+
+	snap := machstats.Default().Snapshot()
+	if len(snap.Stacks) == 0 {
+		t.Fatal("no CPI-stack records after armed sweep")
+	}
+	sawInterval := false
+	for _, rec := range snap.Stacks {
+		if rec.Engine == "interval" && rec.Design == d.Name {
+			sawInterval = true
+			break
+		}
+	}
+	if !sawInterval {
+		t.Errorf("no interval-engine stack record for %s in %d records", d.Name, len(snap.Stacks))
+	}
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["interval.solver.solves"] == 0 {
+		t.Errorf("interval.solver.solves counter empty; counters: %+v", snap.Counters)
+	}
+	if counters["interval.threads_solved"] == 0 {
+		t.Errorf("interval.threads_solved counter empty; counters: %+v", snap.Counters)
+	}
+}
+
+// TestSweepMeanStackConsistent checks the sweep-level mean CPI stacks: they
+// are populated at every thread count and identical between the serial and
+// parallel engines (MeanStack is part of the Sweep, so the bit-identical
+// engine contract covers it — this pins it explicitly).
+func TestSweepMeanStackConsistent(t *testing.T) {
+	d, err := config.DesignByName("2B4m", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := newEngineStudy(1)
+	swS, err := serial.SweepDesign(context.Background(), d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := newEngineStudy(8)
+	swP, err := par.SweepDesign(context.Background(), d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= MaxThreads; n++ {
+		if swS.MeanStack[n-1].Total() <= 0 {
+			t.Fatalf("n=%d: empty mean stack: %+v", n, swS.MeanStack[n-1])
+		}
+		if swS.MeanStack[n-1] != swP.MeanStack[n-1] {
+			t.Fatalf("n=%d: serial and parallel mean stacks differ:\n%+v\n%+v",
+				n, swS.MeanStack[n-1], swP.MeanStack[n-1])
+		}
+	}
+}
+
+// TestMixResultThreads checks the per-thread detail on a single evaluation:
+// one entry per program, placement within range, and a stack whose components
+// sum to a positive CPI consistent with the thread's IPC.
+func TestMixResultThreads(t *testing.T) {
+	d, err := config.DesignByName("4B", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newEngineStudy(1)
+	mixes := s.mixesAt(Heterogeneous, 3)
+	r, err := s.EvaluateMix(d, mixes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Threads) != 3 {
+		t.Fatalf("got %d thread records, want 3", len(r.Threads))
+	}
+	for i, th := range r.Threads {
+		if th.Program != mixes[0].Programs[i] {
+			t.Errorf("thread %d: program %q, want %q", i, th.Program, mixes[0].Programs[i])
+		}
+		if th.Core < 0 || th.Core >= d.NumCores() {
+			t.Errorf("thread %d: core %d out of range [0,%d)", i, th.Core, d.NumCores())
+		}
+		total := th.Stack.Total()
+		if total <= 0 {
+			t.Errorf("thread %d: non-positive stack total %g", i, total)
+		}
+		if th.IPC <= 0 || th.UopsPerNs <= 0 {
+			t.Errorf("thread %d: non-positive rates IPC=%g uops/ns=%g", i, th.IPC, th.UopsPerNs)
+		}
+	}
+}
+
+// TestSweepProgressHook checks the pool's progress hook: it fires for every
+// task of a sweep, the final call reports (total, total), and — because the
+// sweep cache detaches contexts — the hook survives the SweepDesign cache
+// boundary. Both engines are exercised.
+func TestSweepProgressHook(t *testing.T) {
+	d, err := config.DesignByName("2B4m", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		s := newEngineStudy(workers)
+		var mu sync.Mutex
+		var calls int
+		var lastDone, lastTotal int
+		maxDone := 0
+		ctx := WithProgress(context.Background(), func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			lastDone, lastTotal = done, total
+			if done > maxDone {
+				maxDone = done
+			}
+		})
+		if _, err := s.SweepDesign(ctx, d, Heterogeneous); err != nil {
+			t.Fatal(err)
+		}
+		want := MaxThreads * s.MixesPerCount
+		mu.Lock()
+		if calls != want {
+			t.Errorf("workers=%d: %d progress calls, want %d", workers, calls, want)
+		}
+		if maxDone != want || lastTotal != want {
+			t.Errorf("workers=%d: final progress %d/%d (max %d), want %d/%d",
+				workers, lastDone, lastTotal, maxDone, want, want)
+		}
+		mu.Unlock()
+
+		// A cache hit recomputes nothing, so the hook must stay silent.
+		calls = 0
+		if _, err := s.SweepDesign(ctx, d, Heterogeneous); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		if calls != 0 {
+			t.Errorf("workers=%d: progress hook fired %d times on a cache hit", workers, calls)
+		}
+		mu.Unlock()
+	}
+}

@@ -55,7 +55,10 @@ func (s *Study) workers() int {
 // returns ctx.Err(), unless every index was already handed out and
 // completed — then the work is done and the cancellation is irrelevant. With
 // one worker it degenerates to the plain serial loop. queue, when non-nil,
-// receives each task's queue wait in seconds.
+// receives each task's queue wait in seconds. A progress hook carried by ctx
+// (see WithProgress) is called after every completed task with the number of
+// tasks finished so far; completion order is nondeterministic under
+// parallelism, but the final call is always (n, n) on a successful run.
 func runIndexed(ctx context.Context, workers, n int, queue *obs.Histogram, fn func(ctx context.Context, i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -63,6 +66,7 @@ func runIndexed(ctx context.Context, workers, n int, queue *obs.Histogram, fn fu
 	if workers > n {
 		workers = n
 	}
+	prog := progressFrom(ctx)
 	enqueued := time.Now()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -72,12 +76,16 @@ func runIndexed(ctx context.Context, workers, n int, queue *obs.Histogram, fn fu
 			if err := safeCall(ctx, enqueued, queue, i, fn); err != nil {
 				return err
 			}
+			if prog != nil {
+				prog(i+1, n)
+			}
 		}
 		return nil
 	}
 
 	var (
 		next     atomic.Int64
+		done     atomic.Int64
 		failed   atomic.Bool
 		mu       sync.Mutex
 		firstIdx = n
@@ -110,6 +118,9 @@ func runIndexed(ctx context.Context, workers, n int, queue *obs.Histogram, fn fu
 				if err := safeCall(ctx, enqueued, queue, i, fn); err != nil {
 					record(i, err)
 					return
+				}
+				if prog != nil {
+					prog(int(done.Add(1)), n)
 				}
 			}
 		}()

@@ -178,6 +178,23 @@ func (s *Study) SoloRateCtx(ctx context.Context, bench string) (float64, error) 
 	})
 }
 
+// MixThread is the per-thread detail of one mix evaluation: the program, the
+// core the scheduler placed it on, its solved rates, and the contention
+// solver's CPI-stack decomposition — the paper's per-thread view of where
+// cycles go on a given design.
+type MixThread struct {
+	// Program is the benchmark the thread runs.
+	Program string
+	// Core is the core index the scheduler placed the thread on.
+	Core int
+	// IPC is µops per core cycle while running (after SMT width sharing).
+	IPC float64
+	// UopsPerNs is the thread's absolute progress rate.
+	UopsPerNs float64
+	// Stack is the solved CPI decomposition.
+	Stack interval.CPIStack
+}
+
 // MixResult is the evaluation of one mix on one design.
 type MixResult struct {
 	// STP is the system throughput (weighted speedup vs big-core isolated).
@@ -190,6 +207,9 @@ type MixResult struct {
 	WattsUngated float64
 	// BusUtilization is off-chip bus utilization in [0,1].
 	BusUtilization float64
+	// Threads is the per-thread placement and CPI-stack detail, indexed like
+	// the mix's programs.
+	Threads []MixThread
 	// Diag is the contention solver's convergence diagnostics for this mix.
 	Diag contention.Diagnostics
 }
@@ -218,8 +238,17 @@ func (s *Study) EvaluateMixCtx(ctx context.Context, d config.Design, mix workloa
 	n := mix.NumThreads()
 	rates := make([]float64, n)
 	soloRates := make([]float64, n)
+	threads := make([]MixThread, n)
 	for i := 0; i < n; i++ {
-		rates[i] = solved.Threads[i].UopsPerNs
+		tr := solved.Threads[i]
+		rates[i] = tr.UopsPerNs
+		threads[i] = MixThread{
+			Program:   mix.Programs[i],
+			Core:      placement.CoreOf[i],
+			IPC:       tr.IPC,
+			UopsPerNs: tr.UopsPerNs,
+			Stack:     tr.Stack,
+		}
 		soloRates[i], err = s.SoloRateCtx(ctx, mix.Programs[i])
 		if err != nil {
 			return MixResult{}, err
@@ -249,7 +278,7 @@ func (s *Study) EvaluateMixCtx(ctx context.Context, d config.Design, mix workloa
 		return MixResult{}, err
 	}
 	return MixResult{STP: stp, ANTT: antt, Watts: watts, WattsUngated: ungated,
-		BusUtilization: solved.BusUtilization, Diag: solved.Diag}, nil
+		BusUtilization: solved.BusUtilization, Threads: threads, Diag: solved.Diag}, nil
 }
 
 // Sweep holds, for one design and workload kind, the per-thread-count
@@ -267,6 +296,10 @@ type Sweep struct {
 	MixNames []string
 	// ByMix[m][n-1] is the STP of mix m at n threads.
 	ByMix [][MaxThreads]float64
+	// MeanStack[n-1] is the mean per-thread CPI stack at n threads, averaged
+	// component-wise over every thread of every mix — the sweep-level view of
+	// where cycles go as the design fills up with threads.
+	MeanStack [MaxThreads]interval.CPIStack
 	// SolverIterations is the largest iteration count any evaluation's
 	// contention solve needed, and SolverResidual the largest final residual —
 	// the sweep-level view of the solver's convergence diagnostics.
@@ -303,9 +336,14 @@ func (s *Study) SweepDesign(ctx context.Context, d config.Design, k Kind) (*Swee
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The cache detaches the compute context from the caller's, so a
+	// context-carried progress hook must be captured here and re-attached
+	// inside the closure. When concurrent callers coalesce, only the hook of
+	// the caller whose closure runs (the computation leader) fires.
+	prog := progressFrom(ctx)
 	return s.sweeps.GetCtx(ctx, s.sweepKey(d, k), func(cctx context.Context) (*Sweep, error) {
 		s.sweepComputes.Add(1)
-		return s.computeSweep(cctx, d, k)
+		return s.computeSweep(WithProgress(cctx, prog), d, k)
 	})
 }
 
@@ -358,12 +396,23 @@ func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Swe
 		stps := make([]float64, nMixes)
 		antts := make([]float64, nMixes)
 		watts := make([]float64, nMixes)
+		var stackSum interval.CPIStack
+		var stackCount int
 		for mi := 0; mi < nMixes; mi++ {
 			r := results[n-1][mi]
 			stps[mi] = r.STP
 			antts[mi] = r.ANTT
 			watts[mi] = r.Watts
 			sw.ByMix[mi][n-1] = r.STP
+			for _, th := range r.Threads {
+				stackSum.Base += th.Stack.Base
+				stackSum.Branch += th.Stack.Branch
+				stackSum.ICache += th.Stack.ICache
+				stackSum.L2 += th.Stack.L2
+				stackSum.LLC += th.Stack.LLC
+				stackSum.Mem += th.Stack.Mem
+				stackCount++
+			}
 			if r.Diag.Iterations > sw.SolverIterations {
 				sw.SolverIterations = r.Diag.Iterations
 			}
@@ -371,6 +420,14 @@ func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Swe
 				sw.SolverResidual = r.Diag.Residual
 			}
 			sw.SolverConverged = sw.SolverConverged && r.Diag.Converged
+		}
+		if stackCount > 0 {
+			inv := 1 / float64(stackCount)
+			sw.MeanStack[n-1] = interval.CPIStack{
+				Base: stackSum.Base * inv, Branch: stackSum.Branch * inv,
+				ICache: stackSum.ICache * inv, L2: stackSum.L2 * inv,
+				LLC: stackSum.LLC * inv, Mem: stackSum.Mem * inv,
+			}
 		}
 		h, err := metrics.HarmonicMean(stps)
 		if err != nil {

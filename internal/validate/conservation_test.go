@@ -1,0 +1,86 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/cpu"
+	"smtflex/internal/multicore"
+	"smtflex/internal/sched"
+	"smtflex/internal/workload"
+)
+
+// TestCounterConservationNineDesigns pins the conservation invariant across
+// the paper's whole power-equivalent design space: on every one of the nine
+// design points, the cycle engine's per-thread stall attribution
+// (cpu.ThreadStats.Stack) must sum to the thread's total CPI within 1e-9,
+// and the interval engine's CPIStack components must reproduce Total()
+// exactly (same additions, same order — no float slack needed).
+func TestCounterConservationNineDesigns(t *testing.T) {
+	progs := []string{"tonto", "gcc"}
+	for _, d := range config.NineDesigns(true) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			mix := workload.Mix{ID: "conserve", Programs: progs}
+
+			// Cycle engine: a short real run, then component-sum vs CPI.
+			chip, err := multicore.New(d, cpu.Ideal{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			readers, err := mix.Readers(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := make([]int, len(readers))
+			for i, r := range readers {
+				id, err := chip.AttachThread(i%d.NumCores(), r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids[i] = id
+			}
+			chip.Run(2000)
+			for i, id := range ids {
+				st := chip.ThreadStats(id)
+				if st.Uops == 0 {
+					t.Fatalf("thread %d retired nothing", i)
+				}
+				var sum float64
+				for _, c := range st.Stack() {
+					sum += c.CPI
+				}
+				if diff := math.Abs(sum - st.CPI()); diff > 1e-9 {
+					t.Errorf("thread %d (%s): cycle stack sums to %.12f, CPI %.12f (|Δ|=%.3g)",
+						i, progs[i], sum, st.CPI(), diff)
+				}
+			}
+
+			// Interval engine: solve the same mix under the design's placement
+			// and check each thread's stack against its own total.
+			placement, err := sched.Place(d, mix, source())
+			if err != nil {
+				t.Fatal(err)
+			}
+			solved, err := contention.Solve(placement)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, th := range solved.Threads {
+				var sum float64
+				for _, c := range th.Stack.Components() {
+					sum += c.CPI
+				}
+				if sum != th.Stack.Total() {
+					t.Errorf("thread %d (%s): interval components sum to %v, Total() %v",
+						i, progs[i], sum, th.Stack.Total())
+				}
+				if th.Stack.Total() <= 0 {
+					t.Errorf("thread %d (%s): non-positive interval CPI %v", i, progs[i], th.Stack.Total())
+				}
+			}
+		})
+	}
+}

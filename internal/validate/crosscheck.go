@@ -1,0 +1,240 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/cpu"
+	"smtflex/internal/machstats"
+	"smtflex/internal/multicore"
+	"smtflex/internal/sched"
+	"smtflex/internal/workload"
+)
+
+// DefaultTolerance is the per-component relative-delta bound CrossCheck uses
+// when the caller passes zero. Component deltas are normalized by the cycle
+// engine's total CPI, so the bound reads as "no component may misattribute
+// more than this fraction of the thread's cycles".
+const DefaultTolerance = 0.25
+
+// ComponentDelta compares one CPI-stack component between the engines.
+type ComponentDelta struct {
+	// Component is the canonical component name (machstats vocabulary), or
+	// "total" for the whole-stack row.
+	Component string
+	// CycleCPI and IntervalCPI are the component's cycles per µop under each
+	// engine. The cycle engine's four-way attribution is compared against the
+	// interval engine's six-way stack with L2+LLC+Mem folded into "mem".
+	CycleCPI    float64
+	IntervalCPI float64
+	// RelDelta is |CycleCPI−IntervalCPI| normalized by the cycle engine's
+	// total CPI — the fraction of the thread's cycles the engines disagree
+	// on for this component.
+	RelDelta float64
+}
+
+// ThreadCrossCheck is one thread's component-by-component comparison.
+type ThreadCrossCheck struct {
+	// Thread is the chip-wide thread id, Program its benchmark, Core its
+	// placement.
+	Thread  int
+	Program string
+	Core    int
+	// Deltas holds base, branch, icache, mem and total rows, in that order.
+	Deltas []ComponentDelta
+}
+
+// CrossCheck is a component-resolved cross-validation of the interval engine
+// against the cycle engine on one (design, mix) point.
+type CrossCheck struct {
+	// Design and Mix identify the experiment.
+	Design string
+	Mix    []string
+	// Tolerance is the per-component RelDelta bound violations are judged by.
+	Tolerance float64
+	// Threads holds the per-thread comparisons.
+	Threads []ThreadCrossCheck
+}
+
+// cycleCPIs runs the mix once on the design with the given idealization and
+// returns each thread's windowed CPI (measureUops after warmupUops of
+// warmup). The last (fully real) level additionally publishes the chip's
+// machine counters.
+func cycleCPIs(d config.Design, placement contention.Placement, mix workload.Mix, ideal cpu.Ideal, warmupUops, measureUops uint64, publish []string) ([]float64, error) {
+	chip, err := multicore.New(d, ideal)
+	if err != nil {
+		return nil, err
+	}
+	readers, err := mix.Readers(0x5EED)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(readers))
+	for i, r := range readers {
+		id, err := chip.AttachThread(placement.CoreOf[i], r)
+		if err != nil {
+			return nil, fmt.Errorf("validate: %w", err)
+		}
+		ids[i] = id
+	}
+	chip.Run(warmupUops)
+	warm := make([]cpu.ThreadStats, len(ids))
+	for i, id := range ids {
+		warm[i] = chip.ThreadStats(id)
+	}
+	chip.Run(warmupUops + measureUops)
+	if publish != nil {
+		chip.PublishMachStats(publish)
+	}
+	cpis := make([]float64, len(ids))
+	for i, id := range ids {
+		fin := chip.ThreadStats(id)
+		duops := float64(fin.Uops - warm[i].Uops)
+		if duops > 0 {
+			cpis[i] = (fin.FinishTime - warm[i].FinishTime) / duops
+		}
+	}
+	return cpis, nil
+}
+
+// RunCrossCheck executes the mix on the named design with both engines under
+// the same placement and compares their CPI stacks component by component.
+//
+// The cycle engine's stack is decomposed by successive idealization — the
+// same methodology the profiler calibrates the interval model with: four
+// co-simulations at increasing realism (all-ideal, real branches, real
+// I-cache, fully real), with each component the windowed-CPI difference
+// between adjacent levels. The components therefore sum to the real run's
+// total CPI exactly, and each is defined identically to its interval-model
+// counterpart. The single-run stall attributions (cpu.ThreadStats.Stack) are
+// NOT used here: attributed stalls overlap, which makes their residual base
+// component meaningless for comparison.
+//
+// The cycle engine runs warmupUops of warmup plus measureUops of measurement
+// per thread at each level; tolerance zero selects DefaultTolerance. When
+// machstats is armed, both engines' stacks land in the registry (engines
+// "cycle" and "interval"), so -machstats exports carry the raw stacks behind
+// the deltas.
+func RunCrossCheck(src Source, designName string, smt bool, programs []string, warmupUops, measureUops uint64, tolerance float64) (*CrossCheck, error) {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	d, err := config.DesignByName(designName, smt)
+	if err != nil {
+		return nil, err
+	}
+	mix := workload.Mix{ID: "xcheck", Programs: programs}
+	placement, err := sched.Place(d, mix, src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Interval engine.
+	solved, err := contention.Solve(placement)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cycle engine: successive idealization under the same placement.
+	levels := []cpu.Ideal{
+		{Branch: true, ICache: true, DCache: true}, // base
+		{ICache: true, DCache: true},               // + real branches
+		{DCache: true},                             // + real I-cache
+		{},                                         // + real data hierarchy
+	}
+	cpis := make([][]float64, len(levels))
+	for li, ideal := range levels {
+		var publish []string
+		if li == len(levels)-1 {
+			publish = programs
+		}
+		cpis[li], err = cycleCPIs(d, placement, mix, ideal, warmupUops, measureUops, publish)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ck := &CrossCheck{Design: designName, Mix: programs, Tolerance: tolerance}
+	for i := range programs {
+		cyBase := cpis[0][i]
+		cyBranch := cpis[1][i] - cpis[0][i]
+		cyICache := cpis[2][i] - cpis[1][i]
+		cyMem := cpis[3][i] - cpis[2][i]
+		cyTotal := cpis[3][i]
+		iv := solved.Threads[i].Stack
+		ivMem := iv.L2 + iv.LLC + iv.Mem
+		tc := ThreadCrossCheck{Thread: i, Program: programs[i], Core: placement.CoreOf[i]}
+		rows := []struct {
+			name   string
+			cy, in float64
+		}{
+			{machstats.CompBase, cyBase, iv.Base},
+			{machstats.CompBranch, cyBranch, iv.Branch},
+			{machstats.CompICache, cyICache, iv.ICache},
+			{machstats.CompMem, cyMem, ivMem},
+			{"total", cyTotal, iv.Total()},
+		}
+		for _, r := range rows {
+			delta := ComponentDelta{Component: r.name, CycleCPI: r.cy, IntervalCPI: r.in}
+			if cyTotal > 0 {
+				delta.RelDelta = math.Abs(r.cy-r.in) / cyTotal
+			}
+			tc.Deltas = append(tc.Deltas, delta)
+		}
+		ck.Threads = append(ck.Threads, tc)
+	}
+	return ck, nil
+}
+
+// Failures lists every component delta exceeding the tolerance, one line per
+// violation. An empty result means the check passed.
+func (c *CrossCheck) Failures() []string {
+	var out []string
+	for _, tc := range c.Threads {
+		for _, d := range tc.Deltas {
+			if d.RelDelta > c.Tolerance {
+				out = append(out, fmt.Sprintf(
+					"thread %d (%s, core %d): %s cycle=%.4f interval=%.4f |Δ|/total=%.1f%% > %.1f%%",
+					tc.Thread, tc.Program, tc.Core, d.Component,
+					d.CycleCPI, d.IntervalCPI, 100*d.RelDelta, 100*c.Tolerance))
+			}
+		}
+	}
+	return out
+}
+
+// OK reports whether every component delta is within tolerance.
+func (c *CrossCheck) OK() bool { return len(c.Failures()) == 0 }
+
+// Render formats the cross-check as an aligned text table: one row per
+// (thread, component) with both engines' CPI contributions, the normalized
+// delta, and a pass/FAIL verdict against the tolerance.
+func (c *CrossCheck) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cross-check %s mix=%v tolerance=%.1f%%\n",
+		c.Design, c.Mix, 100*c.Tolerance)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "thr\tprogram\tcore\tcomponent\tcycle\tinterval\t|Δ|/total\tverdict")
+	for _, tc := range c.Threads {
+		for _, d := range tc.Deltas {
+			verdict := "ok"
+			if d.RelDelta > c.Tolerance {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%.4f\t%.4f\t%.1f%%\t%s\n",
+				tc.Thread, tc.Program, tc.Core, d.Component,
+				d.CycleCPI, d.IntervalCPI, 100*d.RelDelta, verdict)
+		}
+	}
+	w.Flush()
+	if fails := c.Failures(); len(fails) > 0 {
+		fmt.Fprintf(&b, "FAIL: %d component delta(s) exceed tolerance\n", len(fails))
+	} else {
+		fmt.Fprintf(&b, "PASS: all component deltas within tolerance\n")
+	}
+	return b.String()
+}

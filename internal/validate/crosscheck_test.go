@@ -1,0 +1,105 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustCrossCheck(t *testing.T, design string, smt bool, programs []string, tol float64) *CrossCheck {
+	t.Helper()
+	s := source()
+	ck, err := RunCrossCheck(s, design, smt, programs, s.Warmup, s.UopCount, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+// TestCrossCheckSingleThreadAgreement pins the calibration contract at
+// component granularity: solo runs sit at the interval model's calibration
+// point, so every CPI-stack component must agree with the cycle engine to
+// within a few percent of total CPI (see EXPERIMENTS.md for the tolerance
+// rationale).
+func TestCrossCheckSingleThreadAgreement(t *testing.T) {
+	for _, tc := range []struct {
+		design string
+		bench  string
+	}{
+		{"4B", "tonto"},
+		{"4B", "hmmer"},
+		{"20s", "gcc"},
+	} {
+		ck := mustCrossCheck(t, tc.design, true, []string{tc.bench}, 0.10)
+		if !ck.OK() {
+			t.Errorf("%s solo on %s: component deltas exceed 10%%:\n%s",
+				tc.bench, tc.design, strings.Join(ck.Failures(), "\n"))
+		}
+	}
+}
+
+// TestCrossCheckConservation checks that both engines' reported components
+// sum to their reported totals: the cycle side by construction of successive
+// idealization, the interval side by the stack's definition. Float rounding
+// is the only slack.
+func TestCrossCheckConservation(t *testing.T) {
+	ck := mustCrossCheck(t, "4B", true, []string{"tonto", "hmmer"}, 0)
+	for _, th := range ck.Threads {
+		var cySum, ivSum float64
+		var cyTotal, ivTotal float64
+		for _, d := range th.Deltas {
+			if d.Component == "total" {
+				cyTotal, ivTotal = d.CycleCPI, d.IntervalCPI
+				continue
+			}
+			cySum += d.CycleCPI
+			ivSum += d.IntervalCPI
+		}
+		if math.Abs(cySum-cyTotal) > 1e-9 {
+			t.Errorf("thread %d: cycle components sum to %.12f, total %.12f", th.Thread, cySum, cyTotal)
+		}
+		if math.Abs(ivSum-ivTotal) > 1e-9 {
+			t.Errorf("thread %d: interval components sum to %.12f, total %.12f", th.Thread, ivSum, ivTotal)
+		}
+	}
+}
+
+// TestCrossCheckToleranceAndRender checks the verdict machinery: a zero
+// tolerance selects the default, an absurdly tight tolerance flags
+// violations with a non-empty failure list, and Render carries the verdict.
+func TestCrossCheckToleranceAndRender(t *testing.T) {
+	ck := mustCrossCheck(t, "4B", true, []string{"tonto"}, 0)
+	if ck.Tolerance != DefaultTolerance {
+		t.Errorf("zero tolerance resolved to %g, want %g", ck.Tolerance, DefaultTolerance)
+	}
+	if len(ck.Threads) != 1 || len(ck.Threads[0].Deltas) != 5 {
+		t.Fatalf("unexpected shape: %+v", ck)
+	}
+	out := ck.Render()
+	for _, want := range []string{"cross-check 4B", "component", "base", "branch", "icache", "mem", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if ck.OK() && !strings.Contains(out, "PASS") {
+		t.Errorf("passing check renders no PASS verdict:\n%s", out)
+	}
+
+	tight := mustCrossCheck(t, "4B", true, []string{"tonto"}, 1e-12)
+	if tight.OK() {
+		t.Fatal("1e-12 tolerance reported no violations")
+	}
+	if got := tight.Render(); !strings.Contains(got, "FAIL") {
+		t.Errorf("failing check renders no FAIL verdict:\n%s", got)
+	}
+}
+
+// TestCrossCheckErrors covers the error paths.
+func TestCrossCheckErrors(t *testing.T) {
+	if _, err := RunCrossCheck(source(), "9B", true, []string{"tonto"}, 1000, 1000, 0); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	if _, err := RunCrossCheck(source(), "4B", true, []string{"nope"}, 1000, 1000, 0); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
