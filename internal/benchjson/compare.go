@@ -1,0 +1,178 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ErrNoResults reports a benchmark document with zero results — an empty
+// trajectory artifact, which the pipeline must treat as a failure, never as
+// a green run (a panicking benchmark run produces exactly this).
+var ErrNoResults = errors.New("benchjson: no benchmark results parsed")
+
+// DecodeJSON reads a Report previously encoded by cmd/benchjson (or any
+// JSON in the same shape). A document with zero results fails with
+// ErrNoResults: every consumer of the trajectory format treats "empty" as a
+// broken pipeline, not a clean slate.
+func DecodeJSON(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(rep); err != nil {
+		return nil, fmt.Errorf("benchjson: decoding report: %w", err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, ErrNoResults
+	}
+	return rep, nil
+}
+
+// Limit bounds how much one benchmark may regress before the gate fails.
+// Percentages are relative increases over the baseline: NsPerOpPct 300
+// allows the current ns/op to reach 4x the baseline.
+type Limit struct {
+	// NsPerOpPct is the allowed ns/op increase in percent. Wall time on
+	// shared CI runners is noisy, so this is gated loosely.
+	NsPerOpPct float64
+	// AllocsPerOpPct is the allowed allocs/op increase in percent.
+	// Allocation counts are deterministic, so this is gated strictly.
+	AllocsPerOpPct float64
+	// AllocsPerOpSlack is an absolute allocs/op allowance added on top of
+	// the percentage, so near-zero-allocation benchmarks (the solver hot
+	// path reports 0 allocs/op) tolerate incidental runtime allocations
+	// without opening a percentage hole on big benchmarks.
+	AllocsPerOpSlack float64
+}
+
+// Thresholds configures a Compare run.
+type Thresholds struct {
+	// Default applies to every benchmark without a PerBench override.
+	Default Limit
+	// PerBench overrides the default limit for specific benchmarks, keyed
+	// by benchmark name (the -<procs> suffix stripped, as in Result.Name).
+	PerBench map[string]Limit
+	// MinNsPerOp exempts benchmarks whose baseline ns/op is below this
+	// floor from ns/op gating: their runtimes are dominated by timer noise.
+	// Allocs are still gated. Zero gates everything.
+	MinNsPerOp float64
+}
+
+// DefaultThresholds is the gate configuration tuned for CI: allocs/op
+// strictly (deterministic), ns/op loosely (1-core shared runners are noisy
+// and the committed baseline may come from different hardware), and no ns
+// gating below 1µs.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		Default:    Limit{NsPerOpPct: 300, AllocsPerOpPct: 10, AllocsPerOpSlack: 64},
+		MinNsPerOp: 1000,
+	}
+}
+
+// Regression is one benchmark metric that exceeded its threshold, or a
+// benchmark that vanished from the current run.
+type Regression struct {
+	// Name and Package identify the benchmark.
+	Name    string `json:"name"`
+	Package string `json:"package,omitempty"`
+	// Metric is "ns/op", "allocs/op", or "missing" (the benchmark ran at
+	// baseline time but produced no result now — a panic or a renamed
+	// benchmark; refresh the baseline if the rename is intentional).
+	Metric string `json:"metric"`
+	// Baseline and Current are the metric's values (zero for "missing").
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Allowed is the largest Current the threshold permits.
+	Allowed float64 `json:"allowed"`
+}
+
+// String renders the regression as one report line.
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: missing from current run (baseline had it)", r.Name)
+	}
+	if r.Baseline <= 0 {
+		return fmt.Sprintf("%s: %s %.6g -> %.6g (allowed <= %.6g)",
+			r.Name, r.Metric, r.Baseline, r.Current, r.Allowed)
+	}
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (allowed <= %.6g, +%.1f%%)",
+		r.Name, r.Metric, r.Baseline, r.Current, r.Allowed,
+		100*(r.Current-r.Baseline)/r.Baseline)
+}
+
+// key identifies a benchmark across reports.
+func key(r Result) string { return r.Package + "\x00" + r.Name + "\x00" + fmt.Sprint(r.Procs) }
+
+// Compare gates current against baseline: it returns one Regression per
+// benchmark metric that regressed beyond its threshold, sorted
+// worst-relative-increase first. Benchmarks new in current are ignored (they
+// have no baseline); benchmarks missing from current are regressions.
+// An empty baseline or current report is an error wrapping ErrNoResults —
+// an empty side means the pipeline is broken, not that nothing regressed.
+func Compare(baseline, current *Report, th Thresholds) ([]Regression, error) {
+	if baseline == nil || len(baseline.Results) == 0 {
+		return nil, fmt.Errorf("baseline: %w", ErrNoResults)
+	}
+	if current == nil || len(current.Results) == 0 {
+		return nil, fmt.Errorf("current: %w", ErrNoResults)
+	}
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[key(r)] = r
+	}
+	var regs []Regression
+	for _, base := range baseline.Results {
+		now, ok := cur[key(base)]
+		if !ok {
+			regs = append(regs, Regression{Name: base.Name, Package: base.Package, Metric: "missing"})
+			continue
+		}
+		lim := th.Default
+		if o, ok := th.PerBench[base.Name]; ok {
+			lim = o
+		}
+		// ns/op: loose gate, skipped under the noise floor.
+		if base.NsPerOp > 0 && now.NsPerOp > 0 && base.NsPerOp >= th.MinNsPerOp {
+			allowed := base.NsPerOp * (1 + lim.NsPerOpPct/100)
+			if now.NsPerOp > allowed {
+				regs = append(regs, Regression{
+					Name: base.Name, Package: base.Package, Metric: "ns/op",
+					Baseline: base.NsPerOp, Current: now.NsPerOp, Allowed: allowed,
+				})
+			}
+		}
+		// allocs/op: strict gate whenever the baseline measured it.
+		if baseAllocs, ok := base.Metrics["allocs/op"]; ok {
+			nowAllocs, ok := now.Metrics["allocs/op"]
+			if !ok {
+				// The current run did not measure allocations (-benchmem
+				// missing): the gate cannot see regressions, so fail loud.
+				regs = append(regs, Regression{
+					Name: base.Name, Package: base.Package, Metric: "allocs/op",
+					Baseline: baseAllocs, Current: -1, Allowed: baseAllocs,
+				})
+				continue
+			}
+			allowed := baseAllocs*(1+lim.AllocsPerOpPct/100) + lim.AllocsPerOpSlack
+			if nowAllocs > allowed {
+				regs = append(regs, Regression{
+					Name: base.Name, Package: base.Package, Metric: "allocs/op",
+					Baseline: baseAllocs, Current: nowAllocs, Allowed: allowed,
+				})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		return relIncrease(regs[i]) > relIncrease(regs[j])
+	})
+	return regs, nil
+}
+
+// relIncrease orders regressions by severity; "missing" sorts first.
+func relIncrease(r Regression) float64 {
+	if r.Metric == "missing" || r.Baseline <= 0 {
+		return 1e18
+	}
+	return (r.Current - r.Baseline) / r.Baseline
+}

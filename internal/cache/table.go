@@ -1,0 +1,122 @@
+package cache
+
+import "math"
+
+// MissTable is a quantized, constant-time form of a MissCurve: the curve is
+// resampled onto a uniform grid in log2(capacity), so At locates its segment
+// with one logarithm instead of a binary search. The contention solver's
+// inner loop performs several curve lookups per thread per iteration, which
+// makes the O(log n) sort.Search in MissCurve.At the dominant instruction
+// stream of a large sweep; the table turns each lookup into O(1) arithmetic.
+//
+// When the grid coincides with the curve's breakpoints — the profiler's
+// curves sample power-of-two capacities, so Quantize(len(Capacities)) lands
+// every grid point exactly on a breakpoint — the table reproduces
+// MissCurve.At bit for bit: the sampled ratios are the curve's own and the
+// interpolation arithmetic is identical. A coarser or finer grid
+// approximates the curve with error bounded by the largest ratio change
+// within any one grid cell.
+type MissTable struct {
+	// caps holds the grid capacities in blocks, ascending.
+	caps []float64
+	// ratios[i] is the curve's miss ratio at caps[i].
+	ratios []float64
+	// log2Lo is log2(caps[0]); invStep is cells per unit of log2 capacity.
+	log2Lo  float64
+	invStep float64
+}
+
+// Quantize resamples the curve onto an n-point grid spaced uniformly in
+// log2(capacity) between the curve's first and last breakpoints. n is
+// clamped to at least 2 (the two endpoints); an empty curve yields an empty
+// table whose At returns 0, and a single-point curve yields a constant
+// table, matching MissCurve.At's clamping.
+//
+// Grid points that land exactly on a curve breakpoint take the breakpoint's
+// ratio verbatim (no interpolation round-off), so a grid that covers every
+// breakpoint makes the table's At bit-identical to the curve's.
+func (c MissCurve) Quantize(n int) MissTable {
+	if len(c.Capacities) == 0 {
+		return MissTable{}
+	}
+	lo := float64(c.Capacities[0])
+	hi := float64(c.Capacities[len(c.Capacities)-1])
+	if len(c.Capacities) == 1 || hi <= lo {
+		return MissTable{caps: []float64{lo}, ratios: []float64{c.Ratios[0]}}
+	}
+	if n < 2 {
+		n = 2
+	}
+	l2lo, l2hi := math.Log2(lo), math.Log2(hi)
+	step := (l2hi - l2lo) / float64(n-1)
+	t := MissTable{
+		caps:    make([]float64, n),
+		ratios:  make([]float64, n),
+		log2Lo:  l2lo,
+		invStep: float64(n-1) / (l2hi - l2lo),
+	}
+	bp := 0 // breakpoint cursor: Capacities ascend, and so does the grid
+	for i := 0; i < n; i++ {
+		x := math.Exp2(l2lo + float64(i)*step)
+		// Force exact endpoints against log/exp round-off.
+		if i == 0 {
+			x = lo
+		}
+		if i == n-1 {
+			x = hi
+		}
+		t.caps[i] = x
+		for bp < len(c.Capacities) && float64(c.Capacities[bp]) < x {
+			bp++
+		}
+		if bp < len(c.Capacities) && float64(c.Capacities[bp]) == x {
+			t.ratios[i] = c.Ratios[bp]
+		} else {
+			t.ratios[i] = c.At(x)
+		}
+	}
+	return t
+}
+
+// At returns the quantized miss ratio at the given capacity in blocks, in
+// O(1). Outside the grid it clamps to the end values; an empty table returns
+// 0; a NaN capacity yields NaN — the same edge behaviour as MissCurve.At, so
+// corrupted solver state still reaches divergence detection instead of
+// panicking.
+func (t MissTable) At(capacityBlocks float64) float64 {
+	n := len(t.caps)
+	if n == 0 {
+		return 0
+	}
+	if math.IsNaN(capacityBlocks) {
+		return math.NaN()
+	}
+	if capacityBlocks <= t.caps[0] {
+		return t.ratios[0]
+	}
+	if capacityBlocks >= t.caps[n-1] {
+		return t.ratios[n-1]
+	}
+	i := int((math.Log2(capacityBlocks) - t.log2Lo) * t.invStep)
+	// Float round-off can land the index one cell off; nudge it so that
+	// caps[i] < capacityBlocks <= caps[i+1], mirroring MissCurve.At's
+	// segment convention.
+	if i > n-2 {
+		i = n - 2
+	}
+	if i < 0 {
+		i = 0
+	}
+	for i > 0 && capacityBlocks <= t.caps[i] {
+		i--
+	}
+	for i < n-2 && capacityBlocks > t.caps[i+1] {
+		i++
+	}
+	lo, hi := t.caps[i], t.caps[i+1]
+	f := (capacityBlocks - lo) / (hi - lo)
+	return t.ratios[i] + f*(t.ratios[i+1]-t.ratios[i])
+}
+
+// Len returns the number of grid points.
+func (t MissTable) Len() int { return len(t.caps) }

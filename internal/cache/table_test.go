@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"math"
+	"testing"
+)
+
+// profCurve mimics the profiler's miss curves: power-of-two capacities from
+// 4 KB to 128 MB in 64-byte blocks, monotonically decreasing ratios.
+func profCurve() MissCurve {
+	var c MissCurve
+	r := 0.9
+	for b := 64; b <= 2<<20; b *= 2 {
+		c.Capacities = append(c.Capacities, b)
+		c.Ratios = append(c.Ratios, r)
+		r *= 0.72
+	}
+	return c
+}
+
+// TestQuantizeExactOnBreakpointGrid: when the grid covers every breakpoint
+// (the profiler's curves are log-uniform, so Quantize(len) does), the table
+// must reproduce the curve bit for bit at every probe — on breakpoints,
+// between them, and outside the sampled range.
+func TestQuantizeExactOnBreakpointGrid(t *testing.T) {
+	c := profCurve()
+	tab := c.Quantize(len(c.Capacities))
+	if tab.Len() != len(c.Capacities) {
+		t.Fatalf("table has %d points, want %d", tab.Len(), len(c.Capacities))
+	}
+	probes := []float64{0, 1, 63, 64, 65, 100, 127, 128, 8191.5, 1 << 15, 3 << 15, 2 << 20, 3 << 20, 1e12}
+	for _, x := range c.Capacities {
+		probes = append(probes, float64(x), float64(x)*1.37, float64(x)-0.25)
+	}
+	for _, x := range probes {
+		want, got := c.At(x), tab.At(x)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Errorf("At(%g): table %v (%x) != curve %v (%x)", x, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestQuantizeCoarseBounded: a coarser grid may deviate from the exact curve
+// between grid points, but must agree exactly on its own grid points and
+// never leave the envelope of the curve's values within each cell.
+func TestQuantizeCoarseBounded(t *testing.T) {
+	c := profCurve()
+	for _, n := range []int{2, 3, 5, 9, 31, 64} {
+		tab := c.Quantize(n)
+		if tab.Len() != n {
+			t.Fatalf("Quantize(%d) has %d points", n, tab.Len())
+		}
+		// At a grid point the table uses the same segment convention as
+		// MissCurve.At (lo < x <= hi), so it returns r[i-1] + 1·(r[i]-r[i-1]);
+		// that equals the stored ratio up to one rounding step.
+		for i, x := range tab.caps {
+			if got, want := tab.At(x), tab.ratios[i]; math.Abs(got-want) > 1e-12 {
+				t.Errorf("n=%d: At(grid point %g) = %v, want stored %v", n, x, got, want)
+			}
+		}
+		// The curve is non-increasing, so within any cell both the curve and
+		// the table lie in [ratio(hi), ratio(lo)] of the cell's exact values.
+		for i := 0; i+1 < n; i++ {
+			lo, hi := tab.caps[i], tab.caps[i+1]
+			for f := 0.1; f < 1; f += 0.2 {
+				x := lo + f*(hi-lo)
+				got := tab.At(x)
+				upper, lower := c.At(lo), c.At(hi)
+				if got > upper+1e-12 || got < lower-1e-12 {
+					t.Errorf("n=%d: At(%g)=%v outside cell envelope [%v,%v]", n, x, got, lower, upper)
+				}
+			}
+		}
+	}
+}
+
+// TestMissTableEdges pins the clamp/NaN edge cases to MissCurve.At's
+// behaviour: empty table → 0, below/above range → end values, NaN → NaN.
+func TestMissTableEdges(t *testing.T) {
+	var empty MissTable
+	if got := empty.At(123); got != 0 {
+		t.Errorf("empty table At = %v, want 0", got)
+	}
+	var emptyCurve MissCurve
+	if n := emptyCurve.Quantize(8).Len(); n != 0 {
+		t.Errorf("quantized empty curve has %d points", n)
+	}
+
+	single := MissCurve{Capacities: []int{128}, Ratios: []float64{0.4}}.Quantize(8)
+	for _, x := range []float64{0, 127, 128, 1e9} {
+		if got := single.At(x); got != 0.4 {
+			t.Errorf("single-point table At(%g) = %v, want 0.4", x, got)
+		}
+	}
+
+	c := profCurve()
+	tab := c.Quantize(len(c.Capacities))
+	if got := tab.At(0); got != c.Ratios[0] {
+		t.Errorf("At(0) = %v, want first ratio %v", got, c.Ratios[0])
+	}
+	if got := tab.At(math.Inf(1)); got != c.Ratios[len(c.Ratios)-1] {
+		t.Errorf("At(+Inf) = %v, want last ratio", got)
+	}
+	if got := tab.At(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("At(NaN) = %v, want NaN", got)
+	}
+	// Quantize clamps n below 2.
+	if n := c.Quantize(0).Len(); n != 2 {
+		t.Errorf("Quantize(0) has %d points, want 2", n)
+	}
+}
+
+// TestMissTableAtAllocs: the whole point of the table is a zero-allocation
+// O(1) hot path, locked in here so a regression cannot merge silently.
+func TestMissTableAtAllocs(t *testing.T) {
+	tab := profCurve().Quantize(64)
+	probes := []float64{1, 100, 5000, 1 << 18, 1e9}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, x := range probes {
+			if v := tab.At(x); v < 0 {
+				t.Fatal("negative ratio")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MissTable.At allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -12,10 +12,8 @@ import (
 	"math"
 
 	"smtflex/internal/config"
-	"smtflex/internal/faults"
 	"smtflex/internal/interval"
 	"smtflex/internal/machstats"
-	"smtflex/internal/obs"
 )
 
 // ErrDiverged reports that the fixed-point iteration produced a non-finite
@@ -124,7 +122,9 @@ func memLatencyNs(blocksPerNs, bandwidthGBps float64) float64 {
 	return dramAccessNs + service + busWait + bankWait
 }
 
-// Solve iterates to a fixed point with the calibrated default model.
+// Solve iterates to a fixed point with the calibrated default model. It
+// uses a fresh Solver, so the Result owns its memory; hot loops that solve
+// many placements reuse a Solver (or the package's solver pool) instead.
 func Solve(p Placement) (Result, error) {
 	return SolveModel(p, DefaultModel())
 }
@@ -139,186 +139,17 @@ func SolveCtx(ctx context.Context, p Placement) (Result, error) {
 
 // SolveModelCtx is SolveModel with the same span instrumentation as SolveCtx.
 func SolveModelCtx(ctx context.Context, p Placement, m Model) (Result, error) {
-	_, sp := obs.StartSpan(ctx, "contention.solve")
-	sp.SetAttr("threads", len(p.CoreOf))
-	defer sp.End()
-	res, err := SolveModel(p, m)
-	if sp != nil {
-		sp.SetAttr("iterations", res.Diag.Iterations)
-		sp.SetAttr("residual", res.Diag.Residual)
-		sp.SetAttr("converged", res.Diag.Converged)
-		if err != nil {
-			sp.SetAttr("error", err.Error())
-		}
-	}
-	return res, err
+	var s Solver
+	return s.SolveModelCtx(ctx, p, m)
 }
 
 // SolveModel is Solve with explicit model choices (see Model); the ablation
-// studies use it to quantify each mechanism's contribution.
+// studies use it to quantify each mechanism's contribution. The solve runs
+// on a fresh Solver, so per-solve state is allocated once per call and never
+// per iteration; repeated solves in a loop should reuse a Solver directly.
 func SolveModel(p Placement, m Model) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
-	p = m.flatten(p)
-	n := len(p.CoreOf)
-	res := Result{
-		Threads:         make([]ThreadResult, n),
-		CoreUtilization: make([]float64, len(p.Design.Cores)),
-	}
-	if n == 0 {
-		res.MemLatencyNs = m.memLatency(0, p.Design.MemBandwidthGBps)
-		res.Diag.Converged = true
-		return res, nil
-	}
-
-	// Per-core thread groups.
-	group := make([][]int, len(p.Design.Cores))
-	for i, c := range p.CoreOf {
-		group[c] = append(group[c], i)
-	}
-
-	// State: absolute rates (µops/ns), initialized optimistically.
-	rate := make([]float64, n)
-	for i := range rate {
-		cc := p.Design.Cores[p.CoreOf[i]]
-		rate[i] = float64(cc.Width) * cc.FrequencyGHz / 2
-	}
-	llcShare := make([]float64, n)
-	l1dShare := make([]float64, n)
-	l2Share := make([]float64, n)
-	l1iShare := make([]float64, n)
-
-	llcBytes := float64(p.Design.LLC.SizeBytes)
-	memLatNs := m.memLatency(0, p.Design.MemBandwidthGBps)
-
-	f := m.dampFactor()
-	maxIter := m.maxIterations()
-	prevRate := make([]float64, n)
-	prevLLC := make([]float64, n)
-	prevL1D := make([]float64, n)
-	prevL2 := make([]float64, n)
-
-	for iter := 0; iter < maxIter; iter++ {
-		if err := faults.Check(faults.SiteSolver); err != nil {
-			return Result{}, fmt.Errorf("contention: iteration %d: %w", iter, err)
-		}
-		copy(prevRate, rate)
-		copy(prevLLC, llcShare)
-		copy(prevL1D, l1dShare)
-		copy(prevL2, l2Share)
-		prevMemLat := memLatNs
-
-		// --- Private cache shares within each core (allocation-weighted) ---
-		for c, ths := range group {
-			cc := p.Design.Cores[c]
-			shareCaches(p, ths, rate, cc, l1iShare, l1dShare, l2Share, llcShare, memLatNs, f)
-		}
-
-		// --- LLC shares across all threads (allocation-weighted) ---
-		weights := make([]float64, n)
-		var wsum float64
-		for i := range weights {
-			cc := p.Design.Cores[p.CoreOf[i]]
-			sh := interval.Shares{L1I: l1iShare[i], L1D: l1dShare[i], L2: l2Share[i], LLC: llcShare[i], MemLatencyCycles: memLatNs * cc.FrequencyGHz}
-			weights[i] = p.Profiles[i].LLCAccessesPerUop(sh) * rate[i]
-			wsum += weights[i]
-		}
-		floor := 0.05 / float64(n)
-		for i := range weights {
-			var frac float64
-			switch {
-			case m.EqualLLCShares:
-				frac = 1 / float64(n)
-			case wsum > 1e-15:
-				frac = weights[i] / wsum
-			default:
-				frac = 1 / float64(n)
-			}
-			frac = math.Max(frac, floor)
-			llcShare[i] = damp(llcShare[i], frac*llcBytes, f)
-		}
-		normalizeShares(llcShare, llcBytes)
-
-		// --- Memory traffic and latency (fills plus writebacks) ---
-		var traffic float64 // blocks per ns
-		for i := range rate {
-			cc := p.Design.Cores[p.CoreOf[i]]
-			sh := interval.Shares{L1I: l1iShare[i], L1D: l1dShare[i], L2: l2Share[i], LLC: llcShare[i], MemLatencyCycles: memLatNs * cc.FrequencyGHz}
-			traffic += p.Profiles[i].DRAMAccessesPerUop(sh) * (1 + p.Profiles[i].WritebackFraction) * rate[i]
-		}
-		memLatNs = damp(memLatNs, m.memLatency(traffic, p.Design.MemBandwidthGBps), f)
-		memLatNs = faults.Corrupt(faults.SiteSolver, memLatNs)
-
-		// --- Per-thread CPI and per-core width/time sharing ---
-		for c, ths := range group {
-			if len(ths) == 0 {
-				continue
-			}
-			cc := p.Design.Cores[c]
-			ipcs := make([]float64, len(ths))
-			timeShare := make([]float64, len(ths))
-			coRunners, tshare := smtOccupancy(cc, p.Design.SMTEnabled, len(ths))
-			part := interval.Partition(cc, coRunners)
-			for k, ti := range ths {
-				sh := interval.Shares{
-					L1I: l1iShare[ti], L1D: l1dShare[ti], L2: l2Share[ti], LLC: llcShare[ti],
-					MemLatencyCycles: memLatNs * cc.FrequencyGHz,
-				}
-				st := p.Profiles[ti].Evaluate(cc, part, sh)
-				res.Threads[ti].Stack = st
-				res.Threads[ti].Shares = sh
-				ipcs[k] = 1 / st.Total()
-				timeShare[k] = tshare
-			}
-			if p.Design.SMTEnabled && coRunners > 1 {
-				interval.ShareWidthEff(ipcs, cc.Width, m.effIssue())
-			}
-			for k, ti := range ths {
-				res.Threads[ti].IPC = ipcs[k]
-				res.Threads[ti].TimeShare = timeShare[k]
-				rate[ti] = damp(rate[ti], ipcs[k]*timeShare[k]*cc.FrequencyGHz, f)
-			}
-		}
-
-		// --- Convergence diagnostics over all damped state ---
-		residual := relChange(prevMemLat, memLatNs)
-		for i := 0; i < n; i++ {
-			residual = math.Max(residual, relChange(prevRate[i], rate[i]))
-			residual = math.Max(residual, relChange(prevLLC[i], llcShare[i]))
-			residual = math.Max(residual, relChange(prevL1D[i], l1dShare[i]))
-			residual = math.Max(residual, relChange(prevL2[i], l2Share[i]))
-		}
-		res.Diag.Iterations = iter + 1
-		res.Diag.Residual = residual
-		if !finiteState(memLatNs, rate, llcShare, l1dShare, l2Share) {
-			return Result{Diag: res.Diag}, fmt.Errorf("%w: non-finite state after iteration %d", ErrDiverged, iter+1)
-		}
-		// With the default zero tolerance this fires only when an iteration
-		// changed nothing at all, so stopping here is bit-identical to
-		// running out the full budget.
-		if residual <= m.Tolerance {
-			res.Diag.Converged = true
-			break
-		}
-	}
-	if !res.Diag.Converged && m.Tolerance > 0 {
-		return Result{Diag: res.Diag}, fmt.Errorf("%w: residual %.3g after %d iterations (tolerance %g)",
-			ErrNotConverged, res.Diag.Residual, res.Diag.Iterations, m.Tolerance)
-	}
-
-	// Finalize.
-	var traffic float64
-	for i := range res.Threads {
-		cc := p.Design.Cores[p.CoreOf[i]]
-		res.Threads[i].UopsPerNs = rate[i]
-		res.CoreUtilization[p.CoreOf[i]] += res.Threads[i].IPC * res.Threads[i].TimeShare / float64(cc.Width)
-		traffic += p.Profiles[i].DRAMAccessesPerUop(res.Threads[i].Shares) * (1 + p.Profiles[i].WritebackFraction) * rate[i]
-	}
-	res.MemLatencyNs = memLatNs
-	res.BusUtilization = math.Min(traffic*blockBytes/p.Design.MemBandwidthGBps, 1)
-	publishMachStats(p, res)
-	return res, nil
+	var s Solver
+	return s.SolveModel(p, m)
 }
 
 // publishMachStats records the converged solve into the machine-counter
@@ -358,71 +189,6 @@ func smtOccupancy(cc config.Core, smtEnabled bool, nThreads int) (coRunners int,
 	return cc.SMTContexts, float64(cc.SMTContexts) / float64(nThreads)
 }
 
-// shareCaches distributes the core-private cache capacities among the
-// threads on one core, weighted by each thread's allocation rate into the
-// cache (misses per ns), with a floor so no thread is starved to zero.
-// Without SMT each time-shared thread uses the full capacity during its
-// slice.
-func shareCaches(p Placement, ths []int, rate []float64, cc config.Core,
-	l1iShare, l1dShare, l2Share, llcShare []float64, memLatNs, f float64) {
-	if len(ths) == 0 {
-		return
-	}
-	full := func(ti int) {
-		l1iShare[ti] = float64(cc.L1I.SizeBytes)
-		l1dShare[ti] = float64(cc.L1D.SizeBytes)
-		l2Share[ti] = float64(cc.L2.SizeBytes)
-	}
-	if !p.Design.SMTEnabled || len(ths) == 1 {
-		for _, ti := range ths {
-			full(ti)
-		}
-		return
-	}
-	// Allocation weights: misses into L1D per ns approximate occupancy
-	// pressure at every private level.
-	n := len(ths)
-	w := make([]float64, n)
-	var sum float64
-	for k, ti := range ths {
-		sh := interval.Shares{L1I: l1iShare[ti], L1D: l1dShare[ti], L2: l2Share[ti], LLC: llcShare[ti], MemLatencyCycles: memLatNs * cc.FrequencyGHz}
-		if sh.L1D == 0 { // first iteration: seed with equal split
-			sh.L1D = float64(cc.L1D.SizeBytes) / float64(n)
-			sh.L2 = float64(cc.L2.SizeBytes) / float64(n)
-			sh.LLC = 1 << 20
-		}
-		miss := p.Profiles[ti].DCurve.At(sh.L1D / 64)
-		w[k] = p.Profiles[ti].DataAPKU / 1000 * miss * rate[ti]
-		sum += w[k]
-	}
-	floor := 0.08 / float64(n)
-	for k, ti := range ths {
-		var frac float64
-		if sum > 1e-15 {
-			frac = w[k] / sum
-		} else {
-			frac = 1 / float64(n)
-		}
-		frac = math.Max(frac, floor)
-		l1dShare[ti] = damp(l1dShare[ti], frac*float64(cc.L1D.SizeBytes), f)
-		l2Share[ti] = damp(l2Share[ti], frac*float64(cc.L2.SizeBytes), f)
-	}
-	normalizeSlice(l1dShare, ths, float64(cc.L1D.SizeBytes))
-	normalizeSlice(l2Share, ths, float64(cc.L2.SizeBytes))
-
-	// The I-cache is shared by *code*, not by thread: co-runners executing
-	// the same benchmark fetch the same instructions, so the capacity splits
-	// across distinct benchmarks, not across threads.
-	distinct := map[string]bool{}
-	for _, ti := range ths {
-		distinct[p.Profiles[ti].Benchmark] = true
-	}
-	iShare := float64(cc.L1I.SizeBytes) / float64(len(distinct))
-	for _, ti := range ths {
-		l1iShare[ti] = iShare
-	}
-}
-
 // damp blends an old and a new value to stabilize the fixed point; f is the
 // weight of the old value.
 func damp(old, new, f float64) float64 {
@@ -442,12 +208,13 @@ func relChange(old, new float64) float64 {
 }
 
 // finiteState reports whether the scalar and every slice element are finite.
-func finiteState(scalar float64, slices ...[]float64) bool {
-	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+// The slices are explicit (not variadic) so the per-iteration call in the
+// solver's hot loop cannot allocate a backing array for the pack.
+func finiteState(scalar float64, a, b, c, d []float64) bool {
 	if !finite(scalar) {
 		return false
 	}
-	for _, s := range slices {
+	for _, s := range [...][]float64{a, b, c, d} {
 		for _, v := range s {
 			if !finite(v) {
 				return false
@@ -456,6 +223,9 @@ func finiteState(scalar float64, slices ...[]float64) bool {
 	}
 	return true
 }
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // normalizeShares rescales all entries so they sum to capacity.
 func normalizeShares(shares []float64, capacity float64) {

@@ -51,8 +51,13 @@ func PlaceRefined(d config.Design, mix workload.Mix, src ProfileSource, budget R
 		return contention.Placement{}, 0, err
 	}
 	objective := budget.objective()
+	// One reused solver for the whole local search: refinement solves
+	// O(passes × threads × cores) candidate placements, and the scratch
+	// reuse keeps that loop allocation-free. The Result seen by Objective
+	// aliases the solver's buffers and is valid only during the call.
+	solver := contention.NewSolver()
 	score := func(pl contention.Placement) (float64, error) {
-		res, err := contention.Solve(pl)
+		res, err := solver.Solve(pl)
 		if err != nil {
 			return 0, err
 		}

@@ -8,6 +8,7 @@ package study
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"smtflex/internal/config"
@@ -43,6 +44,12 @@ func (k Kind) String() string {
 
 // MaxThreads is the study's maximum active thread count.
 const MaxThreads = dist.MaxThreads
+
+// solverPool hands each pool worker a reusable contention.Solver, so the
+// tens of thousands of solves behind a sweep allocate scratch once per
+// worker instead of once per solve. Results alias the solver's scratch;
+// EvaluateMixCtx copies everything it keeps before the solver is returned.
+var solverPool = sync.Pool{New: func() any { return contention.NewSolver() }}
 
 // Study runs experiments, caching profiles, solo rates and design sweeps so
 // every figure reuses the same underlying data, exactly as the paper derives
@@ -229,7 +236,12 @@ func (s *Study) EvaluateMixCtx(ctx context.Context, d config.Design, mix workloa
 	if err != nil {
 		return MixResult{}, err
 	}
-	solved, err := contention.SolveModelCtx(ctx, placement, s.Model)
+	solver := solverPool.Get().(*contention.Solver)
+	// The solver goes back to the pool only when this evaluation is done:
+	// solved.Threads and solved.CoreUtilization alias its scratch, and both
+	// are read (and copied) below.
+	defer solverPool.Put(solver)
+	solved, err := solver.SolveModelCtx(ctx, placement, s.Model)
 	if err != nil {
 		return MixResult{}, err
 	}
