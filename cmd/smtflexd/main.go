@@ -7,6 +7,17 @@
 //
 //	smtflexd -addr :8080 -concurrency 8 -queue 64 -cache-cap 256
 //
+// Cluster mode shards sweeps across a fleet: start workers, then a
+// coordinator pointing at them:
+//
+//	smtflexd -role=worker -addr :8081
+//	smtflexd -role=worker -addr :8082
+//	smtflexd -role=coordinator -workers http://localhost:8081,http://localhost:8082
+//
+// The coordinator serves the same API; /v1/sweep fans out across the fleet
+// and returns tables bit-identical to a solo daemon. Workers additionally
+// serve POST /cluster/v1/cell; /debug/cluster dumps assignment state.
+//
 // Endpoints:
 //
 //	POST /v1/sweep        {"design":"4B","kind":"homogeneous"}
@@ -34,18 +45,63 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"smtflex/internal/buildinfo"
+	"smtflex/internal/cluster"
 	"smtflex/internal/core"
 	"smtflex/internal/faults"
 	"smtflex/internal/machstats"
 	"smtflex/internal/server"
 )
+
+// clusterPeers validates the fabric flags eagerly and returns the parsed
+// worker URLs (nil for non-coordinator roles). Every failure names the flag,
+// the offending value and what would be valid.
+func clusterPeers(role, workers string) ([]string, error) {
+	switch role {
+	case "solo", "coordinator", "worker":
+	default:
+		return nil, fmt.Errorf("invalid -role %q (valid roles: solo, coordinator, worker)", role)
+	}
+	if role != "coordinator" {
+		if workers != "" {
+			return nil, fmt.Errorf("-workers only applies to -role=coordinator (got -role=%s)", role)
+		}
+		return nil, nil
+	}
+	if strings.TrimSpace(workers) == "" {
+		return nil, errors.New("-role=coordinator requires -workers, e.g. -workers http://host1:8080,http://host2:8080")
+	}
+	var peers []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(workers, ",") {
+		w := strings.TrimSpace(raw)
+		if w == "" {
+			return nil, fmt.Errorf("-workers has an empty entry in %q", workers)
+		}
+		u, err := url.Parse(w)
+		if err != nil {
+			return nil, fmt.Errorf("invalid worker URL %q in -workers: %v", w, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("invalid worker URL %q in -workers: need an absolute http(s) URL like http://host:8080", w)
+		}
+		w = strings.TrimRight(w, "/")
+		if seen[w] {
+			return nil, fmt.Errorf("duplicate worker URL %q in -workers", w)
+		}
+		seen[w] = true
+		peers = append(peers, w)
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -63,12 +119,24 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve pprof and trace debug endpoints on this extra address (e.g. 127.0.0.1:6060); keep it loopback-only")
 	traceBuf := flag.Int("trace-buf", 128, "completed request traces kept for /debug/traces (negative disables tracing)")
 	machStats := flag.Bool("machstats", true, "collect simulated-hardware counters and CPI stacks, served at /debug/machstats")
+	role := flag.String("role", "solo", "fabric role: solo, coordinator (shard sweeps across -workers) or worker (serve cell dispatches)")
+	workerList := flag.String("workers", "", "comma-separated worker base URLs for -role=coordinator, e.g. http://host1:8080,http://host2:8080")
+	cellCap := flag.Int("cell-cache-cap", 65536, "max cached sweep cells in the fabric result store before LRU eviction (0 = unbounded)")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println("smtflexd", buildinfo.Get())
 		return
+	}
+
+	// Validate the fabric flags before building anything: a typo'd role or a
+	// malformed worker URL must fail fast with an actionable message, not
+	// surface as dispatch errors after minutes of engine profiling.
+	peers, err := clusterPeers(*role, *workerList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+		os.Exit(2)
 	}
 
 	if *machStats {
@@ -99,7 +167,7 @@ func main() {
 	if queueDepth == 0 {
 		queueDepth = -1 // flag 0 means "no waiting room", not the default
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Sim:            sim,
 		MaxConcurrent:  *concurrency,
 		QueueDepth:     queueDepth,
@@ -107,7 +175,25 @@ func main() {
 		MaxTimeout:     *maxDeadline,
 		Logger:         logger,
 		TraceBuffer:    *traceBuf,
-	})
+	}
+	switch *role {
+	case "coordinator":
+		coord, err := cluster.NewCoordinator(sim.Study(), peers, cluster.Options{
+			Logger:   logger,
+			StoreCap: *cellCap,
+			SweepCap: *cacheCap,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Coordinator = coord
+		logger.Info("fabric coordinator", "workers", len(peers))
+	case "worker":
+		cfg.ClusterWorker = cluster.NewWorker(sim.Study(), *cellCap)
+		logger.Info("fabric worker, serving " + cluster.CellPath)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,48 @@
+// Package cluster is the distributed sweep fabric: a coordinator/worker
+// subsystem that shards sweep work units — (design × mix × thread count)
+// cells — across a fleet of smtflexd processes and reassembles tables
+// bit-identical to the single-process engine.
+//
+// The design in one paragraph: a sweep decomposes into independently
+// evaluable cells (study.SweepMixes), each with a canonical content address
+// (memo.KeyHash of study.CellKey). A consistent-hash ring maps every cell to
+// a preferred worker, so repeated sweeps route the same cell to the same
+// worker and hit its local result store. The coordinator dispatches cells
+// over HTTP/JSON, checks a fleet-level content-addressed store first
+// (identical sub-sweeps are computed once fleet-wide), steals work from slow
+// workers' queues when a dispatcher runs dry, hedges attempts that exceed a
+// latency threshold with a second dispatch to a different worker, retries on
+// worker loss, and — when every worker is gone — falls back to computing the
+// remaining cells locally, so a sweep always converges. The per-cell results
+// feed study.AssembleSweep, the same reassembly the local pool uses, which
+// is why distributed tables are bit-for-bit identical by construction.
+//
+// Failure semantics: a transport error or timeout marks the worker down for
+// the remainder of the sweep (the next sweep re-probes it); its queued cells
+// are drained by the other dispatchers as steals. HTTP 503 from a worker's
+// admission valve is a shed, not a death — the coordinator honors the
+// jittered Retry-After and retries the same worker a bounded number of
+// times. 4xx/409 responses are terminal: the request itself is wrong (bad
+// design, fleet fingerprint mismatch) and no amount of retrying fixes it.
+//
+// Observability: dispatch, steal, hedge and retry are obs spans under the
+// coordinator's "cluster.sweep" span, so time stacks attribute fleet
+// overhead; counters back the daemon's /metrics and /debug/cluster surfaces.
+package cluster
+
+import "errors"
+
+// CellPath is the worker-side HTTP route that evaluates one sweep cell. The
+// server mounts it only in worker role; the coordinator's client dispatches
+// to workerURL+CellPath.
+const CellPath = "/cluster/v1/cell"
+
+// ErrFingerprintMismatch is returned by a worker handed a cell from a fleet
+// whose engine configuration (profiling length, mix parameters, model
+// options) differs from its own. It is terminal: results from mismatched
+// engines must never be mixed into one table.
+var ErrFingerprintMismatch = errors.New("cluster: fleet fingerprint mismatch")
+
+// ErrNoWorkers is returned when a coordinator is constructed without any
+// worker URLs.
+var ErrNoWorkers = errors.New("cluster: coordinator needs at least one worker URL")

@@ -1,0 +1,795 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smtflex/internal/config"
+	"smtflex/internal/faults"
+	"smtflex/internal/memo"
+	"smtflex/internal/obs"
+	"smtflex/internal/study"
+	"smtflex/internal/workload"
+)
+
+// Options parameterizes a Coordinator. Zero values select defaults.
+type Options struct {
+	// Client performs worker HTTP requests (default: a plain http.Client;
+	// per-attempt timeouts come from contexts, not the client).
+	Client *http.Client
+	// PerWorkerInflight bounds concurrent dispatches per worker (default 4).
+	PerWorkerInflight int
+	// AttemptTimeout caps one dispatch attempt (default 60s).
+	AttemptTimeout time.Duration
+	// HedgeDelay is how long a dispatch may run before a second attempt is
+	// launched on a different worker (default 3s). Zero selects the default;
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// ShedBudget is how many 503 sheds from one worker an attempt absorbs
+	// (honoring Retry-After) before trying elsewhere (default 8).
+	ShedBudget int
+	// Replicas is the consistent-hash virtual-node count per worker
+	// (default 64).
+	Replicas int
+	// StoreCap bounds the fleet result store in cells, LRU-evicted
+	// (0 = unbounded). SweepCap does the same for assembled sweeps.
+	StoreCap int
+	SweepCap int
+	// Logger receives dispatch warnings (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// workerState is the coordinator's view of one worker.
+type workerState struct {
+	url      string
+	alive    atomic.Bool
+	assigned atomic.Int64 // cells whose ring owner this worker is
+	done     atomic.Int64 // cells this worker completed
+	stolen   atomic.Int64 // cells this worker's dispatchers stole
+	inflight atomic.Int64 // dispatch attempts currently on the wire
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+func (w *workerState) fail(err error) {
+	w.alive.Store(false)
+	w.mu.Lock()
+	w.lastErr = err.Error()
+	w.mu.Unlock()
+}
+
+func (w *workerState) lastError() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
+// Coordinator is the fabric's control plane: it decomposes sweeps into
+// content-addressed cells, dispatches them across the worker fleet with
+// work-stealing and hedged retries, and reassembles bit-identical tables.
+// It is safe for concurrent use; identical concurrent sweeps coalesce onto
+// one fleet computation.
+type Coordinator struct {
+	st      *study.Study
+	opts    Options
+	log     *slog.Logger
+	client  *http.Client
+	workers []*workerState
+	ring    *ring
+
+	// store is the fleet-level content-addressed result store; hits skip
+	// dispatch entirely. Counters are tracked separately (storeHits/Misses)
+	// because lookups go through Cached, which the memo cache does not count.
+	store  memo.Cache[string, CellResponse]
+	sweeps memo.Cache[string, *study.Sweep]
+
+	storeHits, storeMisses                                atomic.Int64
+	dispatched, steals, retries, hedges, sheds, fallbacks atomic.Int64
+}
+
+// NewCoordinator builds a Coordinator over the worker base URLs
+// (e.g. "http://10.0.0.2:8080").
+func NewCoordinator(st *study.Study, workerURLs []string, opts Options) (*Coordinator, error) {
+	if st == nil {
+		return nil, errors.New("cluster: coordinator needs a study engine")
+	}
+	if len(workerURLs) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.PerWorkerInflight <= 0 {
+		opts.PerWorkerInflight = 4
+	}
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = 60 * time.Second
+	}
+	if opts.HedgeDelay == 0 {
+		opts.HedgeDelay = 3 * time.Second
+	}
+	if opts.ShedBudget <= 0 {
+		opts.ShedBudget = 8
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	c := &Coordinator{
+		st:     st,
+		opts:   opts,
+		log:    opts.Logger,
+		client: opts.Client,
+		ring:   newRing(workerURLs, opts.Replicas),
+	}
+	for _, u := range workerURLs {
+		ws := &workerState{url: u}
+		ws.alive.Store(true) // optimistic until a probe or dispatch says otherwise
+		c.workers = append(c.workers, ws)
+	}
+	c.store.Name = "fleet"
+	if opts.StoreCap > 0 {
+		c.store.Bound(opts.StoreCap)
+	}
+	c.sweeps.Name = "fleet-sweeps"
+	if opts.SweepCap > 0 {
+		c.sweeps.Bound(opts.SweepCap)
+	}
+	return c, nil
+}
+
+// Probe checks every worker's /healthz concurrently, updating liveness.
+// Dead workers are resurrected by a successful probe, so a restarted worker
+// rejoins the fleet at the next sweep (or /healthz scrape).
+func (c *Coordinator) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, ws := range c.workers {
+		wg.Add(1)
+		go func(ws *workerState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, ws.url+"/healthz", nil)
+			if err != nil {
+				ws.fail(err)
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				ws.fail(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				ws.alive.Store(true)
+			} else {
+				ws.fail(fmt.Errorf("healthz: status %d", resp.StatusCode))
+			}
+		}(ws)
+	}
+	wg.Wait()
+}
+
+// SweepDesign runs one design sweep through the fleet. The result is
+// bit-for-bit identical to study.Study.SweepDesign on the same engine
+// configuration: the cells are evaluated by the same per-mix code on the
+// workers and reassembled by the same study.AssembleSweep. Identical
+// concurrent calls coalesce; a context-carried progress hook
+// (study.WithProgress) fires per completed cell, like the local pool's.
+func (c *Coordinator) SweepDesign(ctx context.Context, d config.Design, k study.Kind) (*study.Sweep, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prog := study.ProgressFrom(ctx)
+	return c.sweeps.GetCtx(ctx, c.st.SweepKey(d, k), func(cctx context.Context) (*study.Sweep, error) {
+		return c.computeSweep(cctx, d, k, prog)
+	})
+}
+
+// cell is one dispatchable work unit of a sweep.
+type cell struct {
+	n, mi int
+	key   string
+	d     config.Design
+	mix   workload.Mix
+	req   CellRequest
+}
+
+// sched is the per-sweep work-stealing scheduler: one queue per worker,
+// populated by ring ownership. Dispatchers pop their own queue first and
+// steal from the tail of other workers' queues when theirs runs dry, so a
+// straggling or dead worker's cells drain through the rest of the fleet.
+type sched struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queues      [][]*cell
+	pending     int
+	outstanding int
+	done        int // completed cells, including store prefills
+	err         error
+	stopped     bool
+}
+
+func newSched(nWorkers, prefilled int) *sched {
+	s := &sched{queues: make([][]*cell, nWorkers), done: prefilled}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push enqueues a cell on its owner's queue.
+func (s *sched) push(owner int, cl *cell) {
+	s.mu.Lock()
+	s.queues[owner] = append(s.queues[owner], cl)
+	s.pending++
+	s.mu.Unlock()
+}
+
+// next blocks until a cell is available, preferring self's queue and
+// stealing from others' tails otherwise. It returns nil when the sweep is
+// finished, failed or stopped.
+func (s *sched) next(self int) (cl *cell, stolen bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil || s.stopped {
+			return nil, false
+		}
+		if q := s.queues[self]; len(q) > 0 {
+			cl, s.queues[self] = q[0], q[1:]
+			s.pending--
+			s.outstanding++
+			return cl, false
+		}
+		for off := 1; off < len(s.queues); off++ {
+			j := (self + off) % len(s.queues)
+			if q := s.queues[j]; len(q) > 0 {
+				cl, s.queues[j] = q[len(q)-1], q[:len(q)-1]
+				s.pending--
+				s.outstanding++
+				return cl, true
+			}
+		}
+		if s.pending == 0 && s.outstanding == 0 {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// complete marks one cell finished and returns the completed count.
+func (s *sched) complete() int {
+	s.mu.Lock()
+	s.outstanding--
+	s.done++
+	done := s.done
+	if s.pending == 0 && s.outstanding == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	return done
+}
+
+// fail records the sweep's terminal error and wakes every dispatcher.
+func (s *sched) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.outstanding--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// stop wakes every dispatcher so they observe cancellation.
+func (s *sched) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *sched) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// computeSweep decomposes, dispatches and reassembles one sweep.
+func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study.Kind, prog study.ProgressFunc) (*study.Sweep, error) {
+	ctx, sp := obs.StartSpan(ctx, "cluster.sweep")
+	sp.SetAttr("design", d.Name)
+	sp.SetAttr("kind", k.String())
+	defer sp.End()
+
+	c.Probe(ctx)
+	mixes, nMixes, err := c.st.SweepMixes(k)
+	if err != nil {
+		return nil, err
+	}
+	total := study.MaxThreads * nMixes
+	results := make([][]study.MixResult, study.MaxThreads)
+	for i := range results {
+		results[i] = make([]study.MixResult, nMixes)
+	}
+
+	// Decompose into cells, serving what the fleet store already holds.
+	fingerprint := c.st.Fingerprint()
+	var cells []*cell
+	for n := 1; n <= study.MaxThreads; n++ {
+		for mi := 0; mi < nMixes; mi++ {
+			mix := mixes[n][mi]
+			key := memo.KeyHash(c.st.CellKey(d, k, n, mix))
+			if resp, ok := c.store.Cached(key); ok {
+				c.storeHits.Add(1)
+				results[n-1][mi] = fromWire(resp)
+				continue
+			}
+			c.storeMisses.Add(1)
+			cells = append(cells, &cell{
+				n: n, mi: mi, key: key, d: d, mix: mix,
+				req: CellRequest{
+					Key:           key,
+					Fingerprint:   fingerprint,
+					Design:        d.Name,
+					SMT:           d.SMTEnabled,
+					BandwidthGBps: d.MemBandwidthGBps,
+					Kind:          k.String(),
+					N:             n,
+					MixID:         mix.ID,
+					Programs:      mix.Programs,
+				},
+			})
+		}
+	}
+	prefilled := total - len(cells)
+	sp.SetAttr("cells", total)
+	sp.SetAttr("store_hits", prefilled)
+	if prog != nil && prefilled > 0 {
+		prog(prefilled, total)
+	}
+	if len(cells) == 0 {
+		return study.AssembleSweep(d, k, mixes, results)
+	}
+
+	sc := newSched(len(c.workers), prefilled)
+	for _, cl := range cells {
+		owner := c.ring.ownerOf(cl.key)
+		c.workers[owner].assigned.Add(1)
+		sc.push(owner, cl)
+	}
+
+	// Wake dispatchers blocked in next() if the caller goes away.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			sc.stop()
+		case <-watchDone:
+		}
+	}()
+	defer close(watchDone)
+
+	var mu sync.Mutex // guards results writes (distinct slots, but keep the race detector honest)
+	var wg sync.WaitGroup
+	for wi := range c.workers {
+		for slot := 0; slot < c.opts.PerWorkerInflight; slot++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				for {
+					cl, stolen := sc.next(wi)
+					if cl == nil {
+						return
+					}
+					if stolen {
+						c.steals.Add(1)
+						c.workers[wi].stolen.Add(1)
+					}
+					resp, err := c.processCell(ctx, cl, wi, stolen)
+					if err != nil {
+						sc.fail(err)
+						return
+					}
+					c.store.Put(cl.key, resp)
+					mu.Lock()
+					results[cl.n-1][cl.mi] = fromWire(resp)
+					mu.Unlock()
+					done := sc.complete()
+					if prog != nil {
+						prog(done, total)
+					}
+				}
+			}(wi)
+		}
+	}
+	wg.Wait()
+	if err := sc.failure(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return study.AssembleSweep(d, k, mixes, results)
+}
+
+// terminalError marks failures no retry can fix: the request itself is bad
+// (unknown design, fingerprint mismatch) or the engine rejected the cell.
+type terminalError struct {
+	status int
+	msg    string
+}
+
+func (e *terminalError) Error() string {
+	return fmt.Sprintf("cluster: worker rejected cell (status %d): %s", e.status, e.msg)
+}
+
+// shedError marks a worker that kept shedding (503) past the budget; the
+// worker is healthy but saturated, so it is skipped for this cell without
+// being marked dead.
+type shedError struct{ worker string }
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("cluster: worker %s shedding past budget", e.worker)
+}
+
+// processCell drives one cell to completion: preferred worker first, hedged
+// against stragglers, retried on other live workers after a loss, and
+// computed locally when the whole fleet is gone — a sweep never stalls on a
+// dead fleet.
+func (c *Coordinator) processCell(ctx context.Context, cl *cell, self int, stolen bool) (CellResponse, error) {
+	ctx, sp := obs.StartSpan(ctx, "cluster.cell")
+	sp.SetAttr("key", cl.key)
+	sp.SetAttr("n", cl.n)
+	sp.SetAttr("mix", cl.mix.ID)
+	if stolen {
+		sp.SetAttr("stolen", true)
+	}
+	defer sp.End()
+
+	tried := make(map[int]bool)
+	target := self
+	if !c.workers[self].alive.Load() {
+		target = c.pickLive(tried)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return CellResponse{}, err
+		}
+		if target < 0 {
+			// No untried live worker remains: compute the cell locally so the
+			// sweep still converges (counted, spanned, and identical by
+			// construction — it is the same EvaluateMixCtx the workers run).
+			c.fallbacks.Add(1)
+			_, fsp := obs.StartSpan(ctx, "cluster.fallback")
+			fsp.SetAttr("key", cl.key)
+			r, err := c.st.EvaluateMixCtx(ctx, cl.d, cl.mix)
+			fsp.End()
+			if err != nil {
+				return CellResponse{}, fmt.Errorf("cluster: local fallback for %s: %w", cl.mix.ID, err)
+			}
+			return toWire(cl.key, r), nil
+		}
+		tried[target] = true
+		resp, err := c.dispatchHedged(ctx, cl, target)
+		if err == nil {
+			c.workers[target].done.Add(1)
+			sp.SetAttr("worker", c.workers[target].url)
+			return resp, nil
+		}
+		var te *terminalError
+		if errors.As(err, &te) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return CellResponse{}, err
+		}
+		// Transport loss or shed budget: try the next live worker.
+		c.retries.Add(1)
+		c.log.Warn("cell re-dispatch", "key", cl.key, "worker", c.workers[target].url, "err", err)
+		target = c.pickLive(tried)
+	}
+}
+
+// pickLive returns a live worker index not in tried, or -1. It prefers the
+// least-loaded (fewest inflight dispatches) so hedges and retries spread.
+func (c *Coordinator) pickLive(tried map[int]bool) int {
+	best, bestLoad := -1, int64(0)
+	for i, ws := range c.workers {
+		if tried[i] || !ws.alive.Load() {
+			continue
+		}
+		load := ws.inflight.Load()
+		if best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// dispatchHedged runs one dispatch attempt against primary, launching a
+// second attempt on a different live worker if the first exceeds the hedge
+// delay; the first success wins and the loser's request is cancelled.
+func (c *Coordinator) dispatchHedged(ctx context.Context, cl *cell, primary int) (CellResponse, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type out struct {
+		resp   CellResponse
+		err    error
+		worker int
+	}
+	ch := make(chan out, 2)
+	launch := func(wi int) {
+		go func() {
+			resp, err := c.attempt(hctx, cl, wi)
+			ch <- out{resp, err, wi}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+	hedged := false
+
+	var hedgeC <-chan time.Time
+	if c.opts.HedgeDelay > 0 {
+		timer := time.NewTimer(c.opts.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var lastErr error
+	for {
+		select {
+		case o := <-ch:
+			inflight--
+			if o.err == nil {
+				return o.resp, nil
+			}
+			lastErr = o.err
+			var te *terminalError
+			if errors.As(o.err, &te) {
+				return CellResponse{}, o.err
+			}
+			var se *shedError
+			if !errors.As(o.err, &se) && hctx.Err() == nil {
+				c.workers[o.worker].fail(o.err)
+			}
+			if inflight > 0 {
+				continue // a hedge is still running; it may yet win
+			}
+			return CellResponse{}, lastErr
+		case <-hedgeC:
+			hedgeC = nil
+			if hedged {
+				continue
+			}
+			if backup := c.pickLive(map[int]bool{primary: true}); backup >= 0 {
+				hedged = true
+				c.hedges.Add(1)
+				_, hsp := obs.StartSpan(hctx, "cluster.hedge")
+				hsp.SetAttr("key", cl.key)
+				hsp.SetAttr("worker", c.workers[backup].url)
+				hsp.End()
+				launch(backup)
+				inflight++
+			}
+		case <-hctx.Done():
+			return CellResponse{}, hctx.Err()
+		}
+	}
+}
+
+// attempt performs one HTTP dispatch of a cell to one worker, absorbing up
+// to the shed budget of 503s (honoring jittered Retry-After).
+func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (CellResponse, error) {
+	ws := c.workers[wi]
+	_, sp := obs.StartSpan(ctx, "cluster.dispatch")
+	sp.SetAttr("worker", ws.url)
+	sp.SetAttr("key", cl.key)
+	defer sp.End()
+	if err := faults.Check(faults.SiteDispatch); err != nil {
+		sp.SetAttr("error", err.Error())
+		return CellResponse{}, err
+	}
+	body, err := json.Marshal(cl.req)
+	if err != nil {
+		return CellResponse{}, &terminalError{0, err.Error()}
+	}
+	c.dispatched.Add(1)
+	ws.inflight.Add(1)
+	defer ws.inflight.Add(-1)
+
+	for shed := 0; ; shed++ {
+		actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		resp, err := c.post(actx, ws.url+CellPath, body)
+		if err != nil {
+			cancel()
+			sp.SetAttr("error", err.Error())
+			return CellResponse{}, err
+		}
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		cancel()
+		if rerr != nil {
+			sp.SetAttr("error", rerr.Error())
+			return CellResponse{}, rerr
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var cr CellResponse
+			if err := json.Unmarshal(b, &cr); err != nil {
+				return CellResponse{}, fmt.Errorf("cluster: bad cell response from %s: %w", ws.url, err)
+			}
+			return cr, nil
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			c.sheds.Add(1)
+			if shed+1 >= c.opts.ShedBudget {
+				sp.SetAttr("error", "shed budget exhausted")
+				return CellResponse{}, &shedError{ws.url}
+			}
+			if err := sleepRetryAfter(ctx, resp.Header.Get("Retry-After")); err != nil {
+				return CellResponse{}, err
+			}
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			var eb errorBody
+			_ = json.Unmarshal(b, &eb)
+			if eb.Error == "" {
+				eb.Error = string(b)
+			}
+			sp.SetAttr("error", eb.Error)
+			return CellResponse{}, &terminalError{resp.StatusCode, eb.Error}
+		default:
+			err := fmt.Errorf("cluster: worker %s returned status %d", ws.url, resp.StatusCode)
+			sp.SetAttr("error", err.Error())
+			return CellResponse{}, err
+		}
+	}
+}
+
+// post issues one JSON POST under ctx.
+func (c *Coordinator) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.client.Do(req)
+}
+
+// sleepRetryAfter waits the server-suggested interval (capped at 2s so a
+// confused header cannot stall a sweep), or until ctx is done.
+func sleepRetryAfter(ctx context.Context, header string) error {
+	d := 500 * time.Millisecond
+	if secs, err := strconv.Atoi(header); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WorkerStatus is one worker's row in the /debug/cluster dump.
+type WorkerStatus struct {
+	URL string `json:"url"`
+	// Alive is the coordinator's current liveness belief (updated by probes
+	// and dispatch failures).
+	Alive   bool   `json:"alive"`
+	LastErr string `json:"last_err,omitempty"`
+	// RingShare is the fraction of the hash space this worker owns — the
+	// expected share of cells assigned to it.
+	RingShare float64 `json:"ring_share"`
+	// Assigned counts cells whose ring owner this worker was; Done counts
+	// cells it actually completed; Stolen counts cells its dispatchers took
+	// from other workers' queues. Inflight is current on-the-wire dispatches.
+	Assigned int64 `json:"assigned"`
+	Done     int64 `json:"done"`
+	Stolen   int64 `json:"stolen"`
+	Inflight int64 `json:"inflight"`
+}
+
+// State is the coordinator's assignment and counter dump for /debug/cluster.
+type State struct {
+	Role    string         `json:"role"`
+	Workers []WorkerStatus `json:"workers"`
+	// Fleet store counters: a hit is a cell served without any dispatch.
+	StoreHits    int64 `json:"store_hits"`
+	StoreMisses  int64 `json:"store_misses"`
+	StoreEntries int   `json:"store_entries"`
+	// Dispatch machinery counters.
+	Dispatched int64 `json:"dispatched"`
+	Steals     int64 `json:"steals"`
+	Retries    int64 `json:"retries"`
+	Hedges     int64 `json:"hedges"`
+	Sheds      int64 `json:"sheds"`
+	// Fallbacks counts cells computed locally because no live worker
+	// remained.
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// State snapshots the coordinator for the debug surface.
+func (c *Coordinator) State() State {
+	st := State{
+		Role:         "coordinator",
+		StoreHits:    c.storeHits.Load(),
+		StoreMisses:  c.storeMisses.Load(),
+		StoreEntries: c.store.Len(),
+		Dispatched:   c.dispatched.Load(),
+		Steals:       c.steals.Load(),
+		Retries:      c.retries.Load(),
+		Hedges:       c.hedges.Load(),
+		Sheds:        c.sheds.Load(),
+		Fallbacks:    c.fallbacks.Load(),
+	}
+	shares := c.ringShares()
+	for i, ws := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			URL:       ws.url,
+			Alive:     ws.alive.Load(),
+			LastErr:   ws.lastError(),
+			RingShare: shares[i],
+			Assigned:  ws.assigned.Load(),
+			Done:      ws.done.Load(),
+			Stolen:    ws.stolen.Load(),
+			Inflight:  ws.inflight.Load(),
+		})
+	}
+	return st
+}
+
+// ringShares computes each worker's owned fraction of the hash space.
+func (c *Coordinator) ringShares() []float64 {
+	shares := make([]float64, len(c.workers))
+	n := len(c.ring.hashes)
+	if n == 0 {
+		return shares
+	}
+	const span = float64(1<<63) * 2 // 2^64 as float
+	for i, h := range c.ring.hashes {
+		var arc uint64
+		if i == 0 {
+			arc = c.ring.hashes[0] + (^c.ring.hashes[n-1] + 1) // wraparound arc
+		} else {
+			arc = h - c.ring.hashes[i-1]
+		}
+		shares[c.ring.owner[h]] += float64(arc) / span
+	}
+	return shares
+}
+
+// Workers lists the fleet's worker URLs with current liveness, for /healthz.
+func (c *Coordinator) Workers() []WorkerStatus {
+	out := make([]WorkerStatus, len(c.workers))
+	for i, ws := range c.workers {
+		out[i] = WorkerStatus{URL: ws.url, Alive: ws.alive.Load(), LastErr: ws.lastError()}
+	}
+	return out
+}
+
+// CacheCounters exposes the fleet store and sweep cache counters for
+// /metrics. The store's hits/misses are the coordinator's own counters
+// (lookups bypass the memo counting path).
+func (c *Coordinator) CacheCounters() []memo.Counters {
+	return []memo.Counters{
+		{
+			Name:    "fleet",
+			Hits:    c.storeHits.Load(),
+			Misses:  c.storeMisses.Load(),
+			Entries: c.store.Len(),
+		},
+		c.sweeps.Counters(),
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring mapping cell content hashes to worker
+// indices. Each worker contributes `replicas` virtual nodes; a key is owned
+// by the first virtual node clockwise of its hash. Consistency matters for
+// two reasons: repeated sweeps route the same cell to the same worker (so
+// its local content store hits), and adding or removing one worker remaps
+// only ~1/N of the cells instead of reshuffling everything.
+type ring struct {
+	hashes []uint64 // sorted virtual-node positions
+	owner  map[uint64]int
+}
+
+// defaultReplicas is the virtual-node count per worker; 64 keeps the
+// expected load imbalance across a handful of workers in the few-percent
+// range at negligible memory cost.
+const defaultReplicas = 64
+
+// newRing builds the ring over the worker URLs (index-identified).
+func newRing(workers []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{owner: make(map[uint64]int, len(workers)*replicas)}
+	for i, w := range workers {
+		for v := 0; v < replicas; v++ {
+			h := hash64(w + "#" + strconv.Itoa(v))
+			// On the (vanishingly rare) collision the lower worker index
+			// wins deterministically, so every process agrees.
+			if prev, ok := r.owner[h]; ok && prev <= i {
+				continue
+			}
+			if _, ok := r.owner[h]; !ok {
+				r.hashes = append(r.hashes, h)
+			}
+			r.owner[h] = i
+		}
+	}
+	sort.Slice(r.hashes, func(a, b int) bool { return r.hashes[a] < r.hashes[b] })
+	return r
+}
+
+// ownerOf returns the worker index owning key.
+func (r *ring) ownerOf(key string) int {
+	if len(r.hashes) == 0 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[r.hashes[i]]
+}
+
+// hash64 is FNV-1a over the string — fast, dependency-free, and stable
+// across processes (unlike Go's seeded maphash).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

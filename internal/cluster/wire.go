@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"smtflex/internal/contention"
+	"smtflex/internal/interval"
+	"smtflex/internal/study"
+)
+
+// The fabric's wire types. Cell results travel as JSON float64s, which Go
+// encodes in the shortest form that round-trips exactly — the property the
+// bit-identical-tables contract rests on.
+
+// CellRequest asks a worker to evaluate one sweep cell: one mix at one
+// thread count on one design. The design is reconstructed from its name
+// plus the explicit SMT and bandwidth fields (bandwidth is always the
+// actual value, never 0-means-default), and the mix ships its full program
+// list, so the worker needs no knowledge of the coordinator's mix seed.
+type CellRequest struct {
+	// Key is the cell's content address (memo.KeyHash of study.CellKey),
+	// under which the worker caches its result.
+	Key string `json:"key"`
+	// Fingerprint is the coordinator engine's study.Fingerprint; the worker
+	// rejects the cell if its own differs (ErrFingerprintMismatch).
+	Fingerprint string `json:"fingerprint"`
+	// Design, SMT and BandwidthGBps reconstruct the design point.
+	Design        string  `json:"design"`
+	SMT           bool    `json:"smt"`
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
+	// Kind is "homogeneous" or "heterogeneous" (informational — the mix is
+	// explicit).
+	Kind string `json:"kind"`
+	// N is the cell's thread count (informational; len(Programs) governs).
+	N int `json:"n"`
+	// MixID and Programs are the mix, one benchmark name per thread.
+	MixID    string   `json:"mix_id"`
+	Programs []string `json:"programs"`
+}
+
+// CellThread is the wire form of one thread's evaluation detail.
+type CellThread struct {
+	Program   string  `json:"program"`
+	Core      int     `json:"core"`
+	IPC       float64 `json:"ipc"`
+	UopsPerNs float64 `json:"uops_per_ns"`
+	Base      float64 `json:"base"`
+	Branch    float64 `json:"branch"`
+	ICache    float64 `json:"icache"`
+	L2        float64 `json:"l2"`
+	LLC       float64 `json:"llc"`
+	Mem       float64 `json:"mem"`
+}
+
+// CellResponse is the wire form of one cell's study.MixResult.
+type CellResponse struct {
+	// Key echoes the request's content address.
+	Key            string       `json:"key"`
+	STP            float64      `json:"stp"`
+	ANTT           float64      `json:"antt"`
+	Watts          float64      `json:"watts"`
+	WattsUngated   float64      `json:"watts_ungated"`
+	BusUtilization float64      `json:"bus_utilization"`
+	Threads        []CellThread `json:"threads"`
+	Iterations     int          `json:"iterations"`
+	Residual       float64      `json:"residual"`
+	Converged      bool         `json:"converged"`
+}
+
+// toWire converts an engine MixResult to its wire form.
+func toWire(key string, r study.MixResult) CellResponse {
+	resp := CellResponse{
+		Key:            key,
+		STP:            r.STP,
+		ANTT:           r.ANTT,
+		Watts:          r.Watts,
+		WattsUngated:   r.WattsUngated,
+		BusUtilization: r.BusUtilization,
+		Threads:        make([]CellThread, len(r.Threads)),
+		Iterations:     r.Diag.Iterations,
+		Residual:       r.Diag.Residual,
+		Converged:      r.Diag.Converged,
+	}
+	for i, th := range r.Threads {
+		resp.Threads[i] = CellThread{
+			Program: th.Program, Core: th.Core, IPC: th.IPC, UopsPerNs: th.UopsPerNs,
+			Base: th.Stack.Base, Branch: th.Stack.Branch, ICache: th.Stack.ICache,
+			L2: th.Stack.L2, LLC: th.Stack.LLC, Mem: th.Stack.Mem,
+		}
+	}
+	return resp
+}
+
+// fromWire converts a wire cell result back to the engine form the
+// reassembly (study.AssembleSweep) consumes.
+func fromWire(resp CellResponse) study.MixResult {
+	r := study.MixResult{
+		STP:            resp.STP,
+		ANTT:           resp.ANTT,
+		Watts:          resp.Watts,
+		WattsUngated:   resp.WattsUngated,
+		BusUtilization: resp.BusUtilization,
+		Threads:        make([]study.MixThread, len(resp.Threads)),
+		Diag: contention.Diagnostics{
+			Iterations: resp.Iterations,
+			Residual:   resp.Residual,
+			Converged:  resp.Converged,
+		},
+	}
+	for i, th := range resp.Threads {
+		r.Threads[i] = study.MixThread{
+			Program: th.Program, Core: th.Core, IPC: th.IPC, UopsPerNs: th.UopsPerNs,
+			Stack: interval.CPIStack{
+				Base: th.Base, Branch: th.Branch, ICache: th.ICache,
+				L2: th.L2, LLC: th.LLC, Mem: th.Mem,
+			},
+		}
+	}
+	return r
+}
+
+// errorBody is the JSON error shape workers return on non-2xx, mirroring the
+// server package's ErrorResponse (not imported to keep the dependency
+// direction server → cluster).
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -41,11 +41,15 @@ const (
 	SiteWorker Site = "worker"
 	// SiteHandler fires at the start of every engine-backed HTTP handler.
 	SiteHandler Site = "handler"
+	// SiteDispatch fires before every cell dispatch the cluster coordinator
+	// makes to a worker; error mode simulates a lost worker, latency mode a
+	// slow network path (exercising hedged re-dispatch).
+	SiteDispatch Site = "dispatch"
 )
 
 // Sites lists every known injection site.
 func Sites() []Site {
-	return []Site{SiteProfiler, SiteSolver, SiteMemo, SiteWorker, SiteHandler}
+	return []Site{SiteProfiler, SiteSolver, SiteMemo, SiteWorker, SiteHandler, SiteDispatch}
 }
 
 // Mode selects what an armed site does.

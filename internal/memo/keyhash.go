@@ -1,0 +1,20 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// KeyHash is the canonical content hash of a cache key: the lowercase hex
+// SHA-256 of the key's bytes. It is the fleet-wide deduplication contract of
+// the cluster layer (internal/cluster): a coordinator and its workers each
+// derive the hash independently from the same canonical key string, so the
+// function must be a pure function of the bytes — stable across processes,
+// architectures and binary versions, with no dependence on map iteration
+// order, pointer identity or process state. Callers are responsible for
+// building the key string canonically (fixed field order, no map ranging);
+// KeyHash then guarantees the rest.
+func KeyHash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

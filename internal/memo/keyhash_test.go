@@ -1,0 +1,53 @@
+package memo
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestKeyHashGolden pins the hash of fixed inputs to known SHA-256 values.
+// This is the cross-process stability regression test: any change to the
+// hash function breaks the fleet-wide dedup contract (a coordinator and its
+// workers hash keys independently and must agree), so the expected values
+// are hard-coded rather than computed.
+func TestKeyHashGolden(t *testing.T) {
+	cases := []struct{ key, want string }{
+		{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+		{"4B|smt=true|bw=8|homogeneous|n=3|progs=mcf,mcf,mcf",
+			"d2af6838d784251c06f73bc728d13e5b8cd9fe24972f445609ceacff306b4813"},
+	}
+	for _, c := range cases {
+		if got := KeyHash(c.key); got != c.want {
+			t.Errorf("KeyHash(%q) = %s, want %s", c.key, got, c.want)
+		}
+	}
+}
+
+// TestKeyHashDeterministic hammers the hash from many goroutines and asserts
+// every call agrees — no hidden process state, no data races (run under
+// -race in CI).
+func TestKeyHashDeterministic(t *testing.T) {
+	const key = "design|smt=true|bw=8|heterogeneous|n=17|progs=a,b,c"
+	want := KeyHash(key)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if got := KeyHash(key); got != want {
+					t.Errorf("KeyHash diverged: %s != %s", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestKeyHashDistinct sanity-checks that distinct keys get distinct hashes.
+func TestKeyHashDistinct(t *testing.T) {
+	if KeyHash("a") == KeyHash("b") {
+		t.Fatal("distinct keys hashed equal")
+	}
+}

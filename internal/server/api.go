@@ -142,3 +142,19 @@ type TableResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// HealthzResponse is the body of GET /healthz. Role is "solo",
+// "coordinator" or "worker"; a coordinator also reports its live view of
+// the fleet so one scrape answers which workers are reachable.
+type HealthzResponse struct {
+	Status  string         `json:"status"`
+	Role    string         `json:"role"`
+	Workers []WorkerHealth `json:"workers,omitempty"`
+}
+
+// WorkerHealth is one worker's liveness row in a coordinator's /healthz.
+type WorkerHealth struct {
+	URL     string `json:"url"`
+	Alive   bool   `json:"alive"`
+	LastErr string `json:"last_err,omitempty"`
+}

@@ -182,7 +182,7 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		code := statusClientClosed
 		if err == errQueueFull {
 			s.met.reject()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter())
 			code = http.StatusServiceUnavailable
 		}
 		fail(code, "admission queue full, retry later")
@@ -215,7 +215,7 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	}
 	resCh := make(chan outcome, 1)
 	go func() {
-		sw, err := s.study().SweepDesign(sctx, d, kind)
+		sw, err := s.sweepDesign(sctx, d, kind)
 		resCh <- outcome{sw, err}
 	}()
 

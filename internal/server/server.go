@@ -39,6 +39,7 @@ import (
 
 	"smtflex/internal/buildinfo"
 	"smtflex/internal/cache"
+	"smtflex/internal/cluster"
 	"smtflex/internal/config"
 	"smtflex/internal/contention"
 	"smtflex/internal/core"
@@ -74,6 +75,14 @@ type Config struct {
 	// TraceBuffer bounds the ring of completed request traces behind
 	// /debug/traces (default 128; negative disables request tracing).
 	TraceBuffer int
+	// Coordinator, when set, routes sweep requests through the distributed
+	// fabric (fan-out across a worker fleet) instead of the local engine.
+	// Mutually exclusive with ClusterWorker.
+	Coordinator *cluster.Coordinator
+	// ClusterWorker, when set, mounts the fabric's cell-evaluation route
+	// (POST /cluster/v1/cell) so this daemon serves a coordinator's
+	// dispatches. Mutually exclusive with Coordinator.
+	ClusterWorker *cluster.Worker
 }
 
 // Server handles the smtflexd API. Create with New; serve via Handler.
@@ -86,6 +95,10 @@ type Server struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	figures        map[string]bool
+
+	// coord and worker select the daemon's fabric role; both nil means solo.
+	coord  *cluster.Coordinator
+	worker *cluster.Worker
 
 	// col buffers completed request traces for /debug/traces and
 	// /debug/timestack; nil when tracing is disabled (TraceBuffer < 0).
@@ -109,6 +122,9 @@ var queueBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
 func New(cfg Config) (*Server, error) {
 	if cfg.Sim == nil {
 		return nil, errors.New("server: Config.Sim is required")
+	}
+	if cfg.Coordinator != nil && cfg.ClusterWorker != nil {
+		return nil, errors.New("server: Coordinator and ClusterWorker are mutually exclusive (a daemon has one fabric role)")
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
@@ -135,6 +151,8 @@ func New(cfg Config) (*Server, error) {
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     cfg.MaxTimeout,
 		figures:        make(map[string]bool),
+		coord:          cfg.Coordinator,
+		worker:         cfg.ClusterWorker,
 	}
 	for _, id := range core.FigureIDs() {
 		s.figures[id] = true
@@ -161,6 +179,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /debug/timestack", s.handleTimestack)
 	s.mux.HandleFunc("GET /debug/machstats", s.handleMachStats)
+	s.mux.HandleFunc("GET /debug/cluster", s.handleDebugCluster)
+	if s.worker != nil {
+		s.mux.Handle("POST "+cluster.CellPath, s.endpoint(cluster.CellPath, s.handleCell))
+	}
 	return s, nil
 }
 
@@ -205,6 +227,10 @@ func statusOf(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, contention.ErrNotConverged), errors.Is(err, contention.ErrDiverged):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, cluster.ErrFingerprintMismatch):
+		// A coordinator from a differently configured fleet: the request can
+		// never succeed here, and 409 tells it not to retry.
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -280,7 +306,7 @@ func (s *Server) endpoint(route string, fn handlerFunc) http.Handler {
 		if err != nil {
 			if errors.Is(err, errQueueFull) {
 				s.met.reject()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", retryAfter())
 				err = &httpError{http.StatusServiceUnavailable, "admission queue full, retry later"}
 			}
 			s.finish(w, r, tctx, root, rid, route, start, 0, nil, err)
@@ -403,8 +429,17 @@ func parseKind(raw string) (study.Kind, error) {
 
 // --- handlers ---
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthzResponse{Status: "ok", Role: s.role()}
+	if s.coord != nil {
+		// A coordinator's health includes its view of the fleet: probe and
+		// report per-worker liveness so one scrape answers "who is up".
+		s.coord.Probe(r.Context())
+		for _, ws := range s.coord.Workers() {
+			resp.Workers = append(resp.Workers, WorkerHealth{URL: ws.URL, Alive: ws.Alive, LastErr: ws.LastErr})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -420,6 +455,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// sweeps, profiles, curves). Label variants of one metric stay adjacent
 	// so write emits each HELP/TYPE header exactly once.
 	counters := s.study().CacheCounters()
+	// Fabric caches ride the same per-cache series: the coordinator's fleet
+	// store and sweep cache, or the worker's cell content store.
+	if s.coord != nil {
+		counters = append(counters, s.coord.CacheCounters()...)
+	}
+	if s.worker != nil {
+		counters = append(counters, s.worker.CacheCounters()...)
+	}
 	for _, mc := range []struct {
 		name, help string
 		kind       string
@@ -439,6 +482,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			samples = append(samples, sample{"smtflexd_coalesced_sweeps_total",
 				"Sweep requests that joined another request's in-flight sweep computation.", "counter", "", float64(c.Coalesced)})
 		}
+	}
+	if s.coord != nil {
+		st := s.coord.State()
+		samples = append(samples,
+			sample{"smtflexd_cluster_dispatched_total", "Cell dispatch attempts sent to workers.", "counter", "", float64(st.Dispatched)},
+			sample{"smtflexd_cluster_steals_total", "Cells a dispatcher stole from another worker's queue.", "counter", "", float64(st.Steals)},
+			sample{"smtflexd_cluster_retries_total", "Cells re-dispatched after a worker loss or shed budget.", "counter", "", float64(st.Retries)},
+			sample{"smtflexd_cluster_hedges_total", "Backup dispatches launched against straggling workers.", "counter", "", float64(st.Hedges)},
+			sample{"smtflexd_cluster_sheds_total", "503 sheds absorbed from worker admission valves.", "counter", "", float64(st.Sheds)},
+			sample{"smtflexd_cluster_fallbacks_total", "Cells computed locally because no live worker remained.", "counter", "", float64(st.Fallbacks)},
+		)
 	}
 	hists := []engineHist{
 		{"smtflexd_solver_iterations", "Fixed-point iterations per contention solve.", s.solverIters.Snapshot()},
@@ -467,7 +521,7 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) (any, error) 
 	if req.BandwidthGBps > 0 {
 		d = d.WithBandwidth(req.BandwidthGBps)
 	}
-	sw, err := s.study().SweepDesign(ctx, d, kind)
+	sw, err := s.sweepDesign(ctx, d, kind)
 	if err != nil {
 		return nil, err
 	}

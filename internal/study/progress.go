@@ -31,3 +31,8 @@ func progressFrom(ctx context.Context) ProgressFunc {
 	fn, _ := ctx.Value(progressKeyType{}).(ProgressFunc)
 	return fn
 }
+
+// ProgressFrom exposes the context-carried progress hook to layers that run
+// sweep cells outside this package's pool (the cluster coordinator), so a
+// distributed sweep feeds the same live-progress surfaces as a local one.
+func ProgressFrom(ctx context.Context) ProgressFunc { return progressFrom(ctx) }

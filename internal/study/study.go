@@ -359,38 +359,29 @@ func (s *Study) SweepDesign(ctx context.Context, d config.Design, k Kind) (*Swee
 	})
 }
 
-// computeSweep does the actual evaluation behind SweepDesign's cache.
+// computeSweep does the actual evaluation behind SweepDesign's cache: it
+// materializes the cell grid, fans the cells over the worker pool, and hands
+// the per-cell results to AssembleSweep — the same decomposition and
+// reassembly the cluster coordinator uses, so distributed sweeps reduce to
+// this exact code.
 func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Sweep, error) {
 	ctx, sp := obs.StartSpan(ctx, "study.sweep")
 	sp.SetAttr("design", d.Name)
 	sp.SetAttr("kind", k.String())
 	defer sp.End()
-	sw := &Sweep{Design: d, Kind: k}
-	nMixes := len(s.mixesAt(k, 1))
-	sw.ByMix = make([][MaxThreads]float64, nMixes)
-	for _, m := range s.mixesAt(k, 1) {
-		name := m.ID
-		if k == Homogeneous {
-			name = m.Programs[0]
-		}
-		sw.MixNames = append(sw.MixNames, name)
-	}
 
 	// Mix construction is cheap and deterministic; materialize the whole
 	// grid up front so the workers only evaluate.
-	mixes := make([][]workload.Mix, MaxThreads+1)
-	for n := 1; n <= MaxThreads; n++ {
-		mixes[n] = s.mixesAt(k, n)
-		if len(mixes[n]) != nMixes {
-			return nil, fmt.Errorf("study: mix count changed from %d to %d at n=%d", nMixes, len(mixes[n]), n)
-		}
+	mixes, nMixes, err := s.SweepMixes(k)
+	if err != nil {
+		return nil, err
 	}
 
 	results := make([][]MixResult, MaxThreads)
 	for i := range results {
 		results[i] = make([]MixResult, nMixes)
 	}
-	err := runIndexed(ctx, s.workers(), MaxThreads*nMixes, s.poolQueue, func(ctx context.Context, i int) error {
+	err = runIndexed(ctx, s.workers(), MaxThreads*nMixes, s.poolQueue, func(ctx context.Context, i int) error {
 		n, mi := i/nMixes+1, i%nMixes
 		r, err := s.EvaluateMixCtx(ctx, d, mixes[n][mi])
 		if err != nil {
@@ -402,54 +393,7 @@ func (s *Study) computeSweep(ctx context.Context, d config.Design, k Kind) (*Swe
 	if err != nil {
 		return nil, err
 	}
-
-	sw.SolverConverged = true
-	for n := 1; n <= MaxThreads; n++ {
-		stps := make([]float64, nMixes)
-		antts := make([]float64, nMixes)
-		watts := make([]float64, nMixes)
-		var stackSum interval.CPIStack
-		var stackCount int
-		for mi := 0; mi < nMixes; mi++ {
-			r := results[n-1][mi]
-			stps[mi] = r.STP
-			antts[mi] = r.ANTT
-			watts[mi] = r.Watts
-			sw.ByMix[mi][n-1] = r.STP
-			for _, th := range r.Threads {
-				stackSum.Base += th.Stack.Base
-				stackSum.Branch += th.Stack.Branch
-				stackSum.ICache += th.Stack.ICache
-				stackSum.L2 += th.Stack.L2
-				stackSum.LLC += th.Stack.LLC
-				stackSum.Mem += th.Stack.Mem
-				stackCount++
-			}
-			if r.Diag.Iterations > sw.SolverIterations {
-				sw.SolverIterations = r.Diag.Iterations
-			}
-			if r.Diag.Residual > sw.SolverResidual {
-				sw.SolverResidual = r.Diag.Residual
-			}
-			sw.SolverConverged = sw.SolverConverged && r.Diag.Converged
-		}
-		if stackCount > 0 {
-			inv := 1 / float64(stackCount)
-			sw.MeanStack[n-1] = interval.CPIStack{
-				Base: stackSum.Base * inv, Branch: stackSum.Branch * inv,
-				ICache: stackSum.ICache * inv, L2: stackSum.L2 * inv,
-				LLC: stackSum.LLC * inv, Mem: stackSum.Mem * inv,
-			}
-		}
-		h, err := metrics.HarmonicMean(stps)
-		if err != nil {
-			return nil, err
-		}
-		sw.STP[n-1] = h
-		sw.ANTT[n-1] = metrics.Mean(antts)
-		sw.Watts[n-1] = metrics.Mean(watts)
-	}
-	return sw, nil
+	return AssembleSweep(d, k, mixes, results)
 }
 
 // DistributionSTP aggregates a sweep's STP under a thread-count distribution
