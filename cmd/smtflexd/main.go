@@ -18,6 +18,13 @@
 // and returns tables bit-identical to a solo daemon. Workers additionally
 // serve POST /cluster/v1/cell; /debug/cluster dumps assignment state.
 //
+// With -journal DIR the coordinator write-ahead-journals every completed
+// cell; a coordinator killed mid-sweep replays the journal on restart and
+// re-dispatches only the remainder, producing byte-identical tables. With
+// -audit-frac F a sampled fraction of cells is double-dispatched to
+// independent workers and the result digests compared — divergence fails
+// the sweep hard rather than assembling an untrustworthy table.
+//
 // Endpoints:
 //
 //	POST /v1/sweep        {"design":"4B","kind":"homogeneous"}
@@ -35,7 +42,10 @@
 // (client-supplied or generated) echoed in the response and attached to each
 // log line and trace.
 //
-// SIGINT/SIGTERM drains in-flight requests (up to -drain) before exiting.
+// SIGINT/SIGTERM begins a graceful drain: in-flight requests finish (up to
+// -drain) while new work is refused with 503 and the X-Smtflexd-Draining
+// header, so fabric coordinators reroute instead of hedging into a dying
+// worker; /healthz turns 503 "draining" so load balancers steer away.
 package main
 
 import (
@@ -57,6 +67,7 @@ import (
 	"smtflex/internal/cluster"
 	"smtflex/internal/core"
 	"smtflex/internal/faults"
+	"smtflex/internal/journal"
 	"smtflex/internal/machstats"
 	"smtflex/internal/server"
 )
@@ -103,6 +114,22 @@ func clusterPeers(role, workers string) ([]string, error) {
 	return peers, nil
 }
 
+// durabilityFlags validates the coordinator durability flags eagerly, in the
+// same spirit as clusterPeers: fail fast with an actionable message instead
+// of surfacing mid-sweep.
+func durabilityFlags(role, journalDir string, auditFrac float64) error {
+	if journalDir != "" && role != "coordinator" {
+		return fmt.Errorf("-journal only applies to -role=coordinator (got -role=%s)", role)
+	}
+	if auditFrac != 0 && role != "coordinator" {
+		return fmt.Errorf("-audit-frac only applies to -role=coordinator (got -role=%s)", role)
+	}
+	if auditFrac < 0 || auditFrac > 1 {
+		return fmt.Errorf("-audit-frac %g outside [0,1]", auditFrac)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0), "max concurrently executing requests")
@@ -122,6 +149,8 @@ func main() {
 	role := flag.String("role", "solo", "fabric role: solo, coordinator (shard sweeps across -workers) or worker (serve cell dispatches)")
 	workerList := flag.String("workers", "", "comma-separated worker base URLs for -role=coordinator, e.g. http://host1:8080,http://host2:8080")
 	cellCap := flag.Int("cell-cache-cap", 65536, "max cached sweep cells in the fabric result store before LRU eviction (0 = unbounded)")
+	journalDir := flag.String("journal", "", "coordinator only: write-ahead journal directory for completed sweep cells; a restarted coordinator replays it and re-dispatches only the remainder")
+	auditFrac := flag.Float64("audit-frac", 0, "coordinator only: fraction of cells in [0,1] double-dispatched to independent workers and digest-compared; divergence fails the sweep")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 
@@ -135,6 +164,10 @@ func main() {
 	// surface as dispatch errors after minutes of engine profiling.
 	peers, err := clusterPeers(*role, *workerList)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+		os.Exit(2)
+	}
+	if err := durabilityFlags(*role, *journalDir, *auditFrac); err != nil {
 		fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
 		os.Exit(2)
 	}
@@ -178,17 +211,28 @@ func main() {
 	}
 	switch *role {
 	case "coordinator":
-		coord, err := cluster.NewCoordinator(sim.Study(), peers, cluster.Options{
-			Logger:   logger,
-			StoreCap: *cellCap,
-			SweepCap: *cacheCap,
-		})
+		copts := cluster.Options{
+			Logger:        logger,
+			StoreCap:      *cellCap,
+			SweepCap:      *cacheCap,
+			AuditFraction: *auditFrac,
+		}
+		if *journalDir != "" {
+			jnl, n, err := journal.Open(*journalDir, sim.Study().Fingerprint())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
+				os.Exit(2)
+			}
+			copts.Journal = jnl
+			logger.Info("cell journal open", "dir", *journalDir, "records", n)
+		}
+		coord, err := cluster.NewCoordinator(sim.Study(), peers, copts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "smtflexd: %v\n", err)
 			os.Exit(2)
 		}
 		cfg.Coordinator = coord
-		logger.Info("fabric coordinator", "workers", len(peers))
+		logger.Info("fabric coordinator", "workers", len(peers), "audit_frac", *auditFrac)
 	case "worker":
 		cfg.ClusterWorker = cluster.NewWorker(sim.Study(), *cellCap)
 		logger.Info("fabric worker, serving " + cluster.CellPath)
@@ -235,8 +279,17 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	logger.Info("shutting down, draining in-flight requests", "drain", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	logger.Info("shutting down, draining in-flight requests", "drain", *drain, "inflight", srv.Inflight())
+	// Flip to draining before closing the listener: while in-flight work
+	// finishes, new engine requests — including a coordinator's cell
+	// dispatches to a dying worker — get 503 with the draining header, so
+	// fabric peers reroute immediately instead of hedging into this process.
+	srv.BeginDrain()
+	drainBy := time.Now().Add(*drain)
+	for srv.Inflight() > 0 && time.Now().Before(drainBy) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	shutdownCtx, cancel := context.WithDeadline(context.Background(), drainBy)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "smtflexd: shutdown: %v\n", err)

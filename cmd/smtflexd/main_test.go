@@ -53,3 +53,38 @@ func TestClusterPeersValidation(t *testing.T) {
 		})
 	}
 }
+
+func TestDurabilityFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		role      string
+		journal   string
+		auditFrac float64
+		wantErr   string // substring; empty means success
+	}{
+		{name: "solo defaults", role: "solo"},
+		{name: "coordinator defaults", role: "coordinator"},
+		{name: "coordinator journal", role: "coordinator", journal: "/tmp/j"},
+		{name: "coordinator audit", role: "coordinator", auditFrac: 0.05},
+		{name: "coordinator full audit", role: "coordinator", auditFrac: 1},
+		{name: "journal on solo", role: "solo", journal: "/tmp/j", wantErr: "-journal only applies"},
+		{name: "journal on worker", role: "worker", journal: "/tmp/j", wantErr: "-journal only applies"},
+		{name: "audit on worker", role: "worker", auditFrac: 0.1, wantErr: "-audit-frac only applies"},
+		{name: "audit negative", role: "coordinator", auditFrac: -0.1, wantErr: "outside [0,1]"},
+		{name: "audit above one", role: "coordinator", auditFrac: 1.5, wantErr: "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := durabilityFlags(tc.role, tc.journal, tc.auditFrac)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, 10*time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.tryAcquire(t0) {
+			t.Fatalf("closed breaker rejected dispatch %d", i)
+		}
+		b.failure(t0)
+	}
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("breaker %v after 2 failures, want closed", st)
+	}
+	b.failure(t0)
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 1 {
+		t.Fatalf("breaker %v trips=%d after threshold, want open/1", st, trips)
+	}
+	if b.tryAcquire(t0.Add(time.Second)) {
+		t.Fatal("open breaker admitted a dispatch inside the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, 10*time.Second)
+	b.failure(t0)
+	b.failure(t0)
+	b.success()
+	b.failure(t0)
+	b.failure(t0)
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("breaker %v, want closed: success must reset the run", st)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(1, 10*time.Second)
+	b.failure(t0)
+	after := t0.Add(11 * time.Second)
+	if !b.tryAcquire(after) {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if st, _ := b.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("breaker %v, want half-open", st)
+	}
+	// The probe slot is single-occupancy.
+	if b.tryAcquire(after) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// A neutral release frees the slot for the next prober.
+	b.release()
+	if !b.tryAcquire(after) {
+		t.Fatal("released probe slot not re-acquirable")
+	}
+	// Probe success closes.
+	b.success()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("breaker %v after probe success, want closed", st)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(1, 10*time.Second)
+	b.failure(t0)
+	after := t0.Add(11 * time.Second)
+	if !b.tryAcquire(after) {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	b.failure(after)
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 2 {
+		t.Fatalf("breaker %v trips=%d after probe failure, want open/2", st, trips)
+	}
+	// The fresh open period starts from the probe failure.
+	if b.tryAcquire(after.Add(5 * time.Second)) {
+		t.Fatal("re-opened breaker admitted traffic inside the new cooldown")
+	}
+	if !b.tryAcquire(after.Add(11 * time.Second)) {
+		t.Fatal("re-opened breaker never cooled down again")
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(5, 10*time.Second)
+	b.forceOpen(t0)
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("breaker %v after forceOpen, want open", st)
+	}
+	if b.tryAcquire(t0.Add(time.Second)) {
+		t.Fatal("forced-open breaker admitted traffic")
+	}
+	// forceOpen on an already-open breaker must not extend the cooldown window
+	// count as a new trip.
+	b.forceOpen(t0.Add(time.Second))
+	if _, trips := b.snapshot(); trips != 1 {
+		t.Fatalf("trips = %d after redundant forceOpen, want 1", trips)
+	}
+}
+
+func TestBreakerAllowsTraffic(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(1, 10*time.Second)
+	if !b.allowsTraffic(t0) {
+		t.Fatal("closed breaker reports no traffic")
+	}
+	b.failure(t0)
+	if b.allowsTraffic(t0.Add(time.Second)) {
+		t.Fatal("open breaker reports traffic inside the cooldown")
+	}
+	if !b.allowsTraffic(t0.Add(11 * time.Second)) {
+		t.Fatal("cooled-down breaker reports no traffic")
+	}
+	// allowsTraffic must not consume the half-open probe slot.
+	if !b.tryAcquire(t0.Add(11 * time.Second)) {
+		t.Fatal("probe slot was consumed by allowsTraffic")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for st, want := range map[breakerState]string{
+		breakerClosed: "closed", breakerOpen: "open", breakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("state %d = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -46,3 +46,16 @@ var ErrFingerprintMismatch = errors.New("cluster: fleet fingerprint mismatch")
 // ErrNoWorkers is returned when a coordinator is constructed without any
 // worker URLs.
 var ErrNoWorkers = errors.New("cluster: coordinator needs at least one worker URL")
+
+// ErrAuditDivergence is returned when audit mode (Options.AuditFraction)
+// double-dispatches a cell to two independent workers and their result
+// digests disagree. It is terminal: divergence means at least one worker is
+// producing wrong results, and a table assembled from either cannot be
+// trusted.
+var ErrAuditDivergence = errors.New("cluster: audit divergence — independent workers disagree on a cell")
+
+// DrainingHeader is set (value "1") on a worker's 503 responses while it is
+// draining for shutdown. The coordinator reroutes such cells to another
+// worker immediately — no shed budget consumed, no breaker penalty — because
+// a draining worker is healthy, just leaving.
+const DrainingHeader = "X-Smtflexd-Draining"

@@ -16,6 +16,7 @@ import (
 
 	"smtflex/internal/config"
 	"smtflex/internal/faults"
+	"smtflex/internal/journal"
 	"smtflex/internal/memo"
 	"smtflex/internal/obs"
 	"smtflex/internal/study"
@@ -45,6 +46,23 @@ type Options struct {
 	// (0 = unbounded). SweepCap does the same for assembled sweeps.
 	StoreCap int
 	SweepCap int
+	// Journal, when non-nil, is the write-ahead cell journal: every completed
+	// cell is recorded before the sweep finishes, and a restarted coordinator
+	// replays the journal into its result store so only the remainder is
+	// re-dispatched. The journal must be opened under this engine's
+	// fingerprint (see journal.Open).
+	Journal *journal.Journal
+	// AuditFraction, in (0,1], enables audit mode: that fraction of cells
+	// (sampled deterministically by content address) is double-dispatched to
+	// a second, independent worker and the result digests compared. Any
+	// divergence fails the sweep with ErrAuditDivergence. Zero disables.
+	AuditFraction float64
+	// BreakerThreshold is the consecutive transport-failure count that trips
+	// a worker's circuit breaker open (default 3). BreakerCooldown is how
+	// long an open breaker blocks traffic before half-opening for a probe
+	// dispatch (default 15s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Logger receives dispatch warnings (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -52,7 +70,7 @@ type Options struct {
 // workerState is the coordinator's view of one worker.
 type workerState struct {
 	url      string
-	alive    atomic.Bool
+	br       *breaker     // circuit breaker: the worker's health state machine
 	assigned atomic.Int64 // cells whose ring owner this worker is
 	done     atomic.Int64 // cells this worker completed
 	stolen   atomic.Int64 // cells this worker's dispatchers stole
@@ -62,8 +80,11 @@ type workerState struct {
 	lastErr string
 }
 
+// fail records a transport-level failure: the error is kept for the debug
+// surface and the breaker accumulates it (tripping open at threshold, or
+// immediately from a half-open probe).
 func (w *workerState) fail(err error) {
-	w.alive.Store(false)
+	w.br.failure(time.Now())
 	w.mu.Lock()
 	w.lastErr = err.Error()
 	w.mu.Unlock()
@@ -73,6 +94,12 @@ func (w *workerState) lastError() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.lastErr
+}
+
+// alive reports whether the breaker would admit traffic now — the fabric's
+// liveness notion on /healthz and /debug/cluster.
+func (w *workerState) alive() bool {
+	return w.br.allowsTraffic(time.Now())
 }
 
 // Coordinator is the fabric's control plane: it decomposes sweeps into
@@ -96,6 +123,16 @@ type Coordinator struct {
 
 	storeHits, storeMisses                                atomic.Int64
 	dispatched, steals, retries, hedges, sheds, fallbacks atomic.Int64
+
+	// Integrity and durability counters.
+	integrityFailures atomic.Int64 // quarantined corrupt/mismatched responses
+	audits            atomic.Int64 // cells double-dispatched by audit mode
+	auditMismatches   atomic.Int64 // audit digest divergences (each fails a sweep)
+	drains            atomic.Int64 // dispatches rerouted off a draining worker
+	journalPuts       atomic.Int64 // cells journaled
+	journalErrs       atomic.Int64 // journal writes that failed (non-fatal)
+	journalReplayed   int          // records replayed into the store at startup
+	journalDropped    int          // records rejected at startup (corrupt/foreign)
 }
 
 // NewCoordinator builds a Coordinator over the worker base URLs
@@ -122,6 +159,15 @@ func NewCoordinator(st *study.Study, workerURLs []string, opts Options) (*Coordi
 	if opts.ShedBudget <= 0 {
 		opts.ShedBudget = 8
 	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 15 * time.Second
+	}
+	if opts.AuditFraction < 0 || opts.AuditFraction > 1 {
+		return nil, fmt.Errorf("cluster: audit fraction %g outside [0,1]", opts.AuditFraction)
+	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
@@ -133,9 +179,12 @@ func NewCoordinator(st *study.Study, workerURLs []string, opts Options) (*Coordi
 		ring:   newRing(workerURLs, opts.Replicas),
 	}
 	for _, u := range workerURLs {
-		ws := &workerState{url: u}
-		ws.alive.Store(true) // optimistic until a probe or dispatch says otherwise
-		c.workers = append(c.workers, ws)
+		// The breaker starts closed: optimistic until a probe or dispatch
+		// says otherwise.
+		c.workers = append(c.workers, &workerState{
+			url: u,
+			br:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		})
 	}
 	c.store.Name = "fleet"
 	if opts.StoreCap > 0 {
@@ -145,12 +194,51 @@ func NewCoordinator(st *study.Study, workerURLs []string, opts Options) (*Coordi
 	if opts.SweepCap > 0 {
 		c.sweeps.Bound(opts.SweepCap)
 	}
+	if opts.Journal != nil {
+		if err := c.replayJournal(opts.Journal); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
-// Probe checks every worker's /healthz concurrently, updating liveness.
-// Dead workers are resurrected by a successful probe, so a restarted worker
-// rejoins the fleet at the next sweep (or /healthz scrape).
+// replayJournal seeds the fleet store from the write-ahead journal: every
+// record that passes both the journal's at-rest digest and the wire layer's
+// canonical integrity check becomes a store entry, so the next sweep serves
+// those cells without dispatching. Records failing either check are dropped
+// (counted, never trusted).
+func (c *Coordinator) replayJournal(j *journal.Journal) error {
+	rejected := 0
+	replayed, dropped, err := j.Replay(func(key string, payload []byte) {
+		var resp CellResponse
+		if json.Unmarshal(payload, &resp) != nil {
+			rejected++
+			return
+		}
+		if verr := resp.verifyIntegrity(key); verr != nil {
+			c.log.Warn("journal replay rejected record", "key", key, "err", verr)
+			rejected++
+			return
+		}
+		c.store.Put(key, resp)
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: replaying journal: %w", err)
+	}
+	c.journalReplayed = replayed - rejected
+	c.journalDropped = dropped + rejected
+	if c.journalReplayed > 0 || c.journalDropped > 0 {
+		c.log.Info("journal replayed", "dir", j.Dir(),
+			"cells", c.journalReplayed, "dropped", c.journalDropped)
+	}
+	return nil
+}
+
+// Probe checks every worker's /healthz concurrently, updating breaker state.
+// A 200 closes the worker's breaker (a restarted worker rejoins the fleet at
+// the next sweep or /healthz scrape); any failure trips it open immediately —
+// an out-of-band health verdict, not one dispatch loss, so it bypasses the
+// consecutive-failure threshold.
 func (c *Coordinator) Probe(ctx context.Context) {
 	var wg sync.WaitGroup
 	for _, ws := range c.workers {
@@ -159,22 +247,28 @@ func (c *Coordinator) Probe(ctx context.Context) {
 			defer wg.Done()
 			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 			defer cancel()
+			fail := func(err error) {
+				ws.br.forceOpen(time.Now())
+				ws.mu.Lock()
+				ws.lastErr = err.Error()
+				ws.mu.Unlock()
+			}
 			req, err := http.NewRequestWithContext(pctx, http.MethodGet, ws.url+"/healthz", nil)
 			if err != nil {
-				ws.fail(err)
+				fail(err)
 				return
 			}
 			resp, err := c.client.Do(req)
 			if err != nil {
-				ws.fail(err)
+				fail(err)
 				return
 			}
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				ws.alive.Store(true)
+				ws.br.success()
 			} else {
-				ws.fail(fmt.Errorf("healthz: status %d", resp.StatusCode))
+				fail(fmt.Errorf("healthz: status %d", resp.StatusCode))
 			}
 		}(ws)
 	}
@@ -402,6 +496,7 @@ func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study
 						return
 					}
 					c.store.Put(cl.key, resp)
+					c.journalCell(cl.key, resp)
 					mu.Lock()
 					results[cl.n-1][cl.mi] = fromWire(resp)
 					mu.Unlock()
@@ -423,6 +518,26 @@ func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study
 	return study.AssembleSweep(d, k, mixes, results)
 }
 
+// journalCell write-ahead-records one completed cell. A journal write
+// failure is logged and counted but does not fail the sweep: the journal is
+// a recovery optimization, and losing one record only means re-evaluating
+// that cell after a crash.
+func (c *Coordinator) journalCell(key string, resp CellResponse) {
+	if c.opts.Journal == nil {
+		return
+	}
+	payload, err := json.Marshal(resp)
+	if err == nil {
+		err = c.opts.Journal.Put(key, payload)
+	}
+	if err != nil {
+		c.journalErrs.Add(1)
+		c.log.Warn("journal write failed", "key", key, "err", err)
+		return
+	}
+	c.journalPuts.Add(1)
+}
+
 // terminalError marks failures no retry can fix: the request itself is bad
 // (unknown design, fingerprint mismatch) or the engine rejected the cell.
 type terminalError struct {
@@ -436,11 +551,52 @@ func (e *terminalError) Error() string {
 
 // shedError marks a worker that kept shedding (503) past the budget; the
 // worker is healthy but saturated, so it is skipped for this cell without
-// being marked dead.
+// a breaker penalty.
 type shedError struct{ worker string }
 
 func (e *shedError) Error() string {
 	return fmt.Sprintf("cluster: worker %s shedding past budget", e.worker)
+}
+
+// drainError marks a worker that answered 503 with the draining header: it
+// is shutting down gracefully. The cell reroutes to another worker
+// immediately — no shed budget, no breaker penalty.
+type drainError struct{ worker string }
+
+func (e *drainError) Error() string {
+	return fmt.Sprintf("cluster: worker %s draining for shutdown", e.worker)
+}
+
+// integrityError marks a response that failed verification: wrong key, bad
+// JSON, missing digest, or digest mismatch. The response is quarantined
+// (never stored, never assembled) and the cell re-dispatched to a different
+// worker; the offender takes a breaker failure.
+type integrityError struct {
+	worker string
+	reason string
+}
+
+func (e *integrityError) Error() string {
+	return fmt.Sprintf("cluster: quarantined response from %s: %s", e.worker, e.reason)
+}
+
+// breakerDeniedError marks a dispatch blocked by an open breaker (or a
+// half-open probe slot already held). Neutral: the worker was not contacted.
+type breakerDeniedError struct{ worker string }
+
+func (e *breakerDeniedError) Error() string {
+	return fmt.Sprintf("cluster: worker %s breaker open", e.worker)
+}
+
+// neutralDispatchError reports whether err says nothing about the target
+// worker's transport health: sheds, drains, breaker denials and terminal
+// request rejections must not trip the breaker.
+func neutralDispatchError(err error) bool {
+	var se *shedError
+	var de *drainError
+	var be *breakerDeniedError
+	var te *terminalError
+	return errors.As(err, &se) || errors.As(err, &de) || errors.As(err, &be) || errors.As(err, &te)
 }
 
 // processCell drives one cell to completion: preferred worker first, hedged
@@ -459,7 +615,7 @@ func (c *Coordinator) processCell(ctx context.Context, cl *cell, self int, stole
 
 	tried := make(map[int]bool)
 	target := self
-	if !c.workers[self].alive.Load() {
+	if !c.workers[self].alive() {
 		target = c.pickLive(tried)
 	}
 	for {
@@ -481,29 +637,89 @@ func (c *Coordinator) processCell(ctx context.Context, cl *cell, self int, stole
 			return toWire(cl.key, r), nil
 		}
 		tried[target] = true
-		resp, err := c.dispatchHedged(ctx, cl, target)
+		resp, winner, err := c.dispatchHedged(ctx, cl, target)
 		if err == nil {
-			c.workers[target].done.Add(1)
-			sp.SetAttr("worker", c.workers[target].url)
+			c.workers[winner].done.Add(1)
+			sp.SetAttr("worker", c.workers[winner].url)
+			if aerr := c.audit(ctx, cl, resp, winner); aerr != nil {
+				return CellResponse{}, aerr
+			}
 			return resp, nil
 		}
 		var te *terminalError
 		if errors.As(err, &te) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return CellResponse{}, err
 		}
-		// Transport loss or shed budget: try the next live worker.
+		// Transport loss, quarantine, shed budget or drain: try the next
+		// live worker. A quarantined response must re-dispatch to a
+		// *different* worker, which tried already guarantees.
 		c.retries.Add(1)
 		c.log.Warn("cell re-dispatch", "key", cl.key, "worker", c.workers[target].url, "err", err)
 		target = c.pickLive(tried)
 	}
 }
 
+// auditSampled reports whether audit mode double-checks this cell. The
+// sample is a deterministic function of the content address — the cell's
+// first 32 key bits against the fraction — so reruns and resumed sweeps
+// audit the same cells.
+func (c *Coordinator) auditSampled(key string) bool {
+	frac := c.opts.AuditFraction
+	if frac <= 0 || len(key) < 8 {
+		return false
+	}
+	v, err := strconv.ParseUint(key[:8], 16, 64)
+	if err != nil {
+		return false
+	}
+	return float64(v) < frac*float64(1<<32)
+}
+
+// audit double-dispatches a sampled cell to a worker other than the one
+// that answered and diffs the result digests. Agreement is silent;
+// divergence is a hard sweep failure (ErrAuditDivergence) — two independent
+// engines disagreeing means one of them is wrong, and no table should be
+// assembled from either. With no second worker available the audit is
+// skipped (logged), never faked.
+func (c *Coordinator) audit(ctx context.Context, cl *cell, resp CellResponse, winner int) error {
+	if !c.auditSampled(cl.key) {
+		return nil
+	}
+	aw := c.pickLive(map[int]bool{winner: true})
+	if aw < 0 {
+		c.log.Warn("audit skipped: no independent worker", "key", cl.key)
+		return nil
+	}
+	c.audits.Add(1)
+	_, sp := obs.StartSpan(ctx, "cluster.audit")
+	sp.SetAttr("key", cl.key)
+	sp.SetAttr("worker", c.workers[aw].url)
+	aresp, err := c.attempt(ctx, cl, aw)
+	sp.End()
+	if err != nil {
+		// The audit dispatch itself failed (worker lost, shedding): the
+		// primary result stands — an audit is a check, not a dependency.
+		c.log.Warn("audit dispatch failed", "key", cl.key, "worker", c.workers[aw].url, "err", err)
+		return nil
+	}
+	if aresp.Digest != resp.Digest {
+		c.auditMismatches.Add(1)
+		return fmt.Errorf("%w: cell %s: %s returned %s, %s returned %s",
+			ErrAuditDivergence, cl.key,
+			c.workers[winner].url, resp.Digest, c.workers[aw].url, aresp.Digest)
+	}
+	return nil
+}
+
 // pickLive returns a live worker index not in tried, or -1. It prefers the
-// least-loaded (fewest inflight dispatches) so hedges and retries spread.
+// least-loaded (fewest inflight dispatches) so hedges and retries spread;
+// liveness is the breaker's verdict, so an open breaker hides a worker until
+// its cooldown half-opens it.
 func (c *Coordinator) pickLive(tried map[int]bool) int {
+	now := time.Now()
 	best, bestLoad := -1, int64(0)
 	for i, ws := range c.workers {
-		if tried[i] || !ws.alive.Load() {
+		if tried[i] || !ws.br.allowsTraffic(now) {
 			continue
 		}
 		load := ws.inflight.Load()
@@ -516,8 +732,11 @@ func (c *Coordinator) pickLive(tried map[int]bool) int {
 
 // dispatchHedged runs one dispatch attempt against primary, launching a
 // second attempt on a different live worker if the first exceeds the hedge
-// delay; the first success wins and the loser's request is cancelled.
-func (c *Coordinator) dispatchHedged(ctx context.Context, cl *cell, primary int) (CellResponse, error) {
+// delay; the first success wins (its worker index is returned) and the
+// loser's request is cancelled. Breaker verdicts are recorded inside
+// attempt, by the goroutine that owns each dispatch — a lost hedge's
+// verdict still lands even though its channel send is never read.
+func (c *Coordinator) dispatchHedged(ctx context.Context, cl *cell, primary int) (CellResponse, int, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -549,21 +768,17 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, cl *cell, primary int)
 		case o := <-ch:
 			inflight--
 			if o.err == nil {
-				return o.resp, nil
+				return o.resp, o.worker, nil
 			}
 			lastErr = o.err
 			var te *terminalError
 			if errors.As(o.err, &te) {
-				return CellResponse{}, o.err
-			}
-			var se *shedError
-			if !errors.As(o.err, &se) && hctx.Err() == nil {
-				c.workers[o.worker].fail(o.err)
+				return CellResponse{}, -1, o.err
 			}
 			if inflight > 0 {
 				continue // a hedge is still running; it may yet win
 			}
-			return CellResponse{}, lastErr
+			return CellResponse{}, -1, lastErr
 		case <-hedgeC:
 			hedgeC = nil
 			if hedged {
@@ -580,19 +795,39 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, cl *cell, primary int)
 				inflight++
 			}
 		case <-hctx.Done():
-			return CellResponse{}, hctx.Err()
+			return CellResponse{}, -1, hctx.Err()
 		}
 	}
 }
 
 // attempt performs one HTTP dispatch of a cell to one worker, absorbing up
-// to the shed budget of 503s (honoring jittered Retry-After).
-func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (CellResponse, error) {
+// to the shed budget of 503s (honoring jittered Retry-After). It owns the
+// worker's breaker interaction end to end: acquire before the dispatch,
+// verdict after — success closes, transport loss and quarantine count as
+// failures, and neutral outcomes (shed, drain, terminal, cancelled hedge)
+// release any held probe slot without a verdict.
+func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (resp CellResponse, err error) {
 	ws := c.workers[wi]
 	_, sp := obs.StartSpan(ctx, "cluster.dispatch")
 	sp.SetAttr("worker", ws.url)
 	sp.SetAttr("key", cl.key)
 	defer sp.End()
+	if !ws.br.tryAcquire(time.Now()) {
+		return CellResponse{}, &breakerDeniedError{ws.url}
+	}
+	defer func() {
+		switch {
+		case err == nil:
+			ws.br.success()
+		case neutralDispatchError(err), ctx.Err() != nil:
+			// Sheds, drains and terminal rejections say nothing about
+			// transport health; a cancelled context (lost hedge race, sweep
+			// cancel) makes any error unattributable. Free the probe slot.
+			ws.br.release()
+		default:
+			ws.fail(err)
+		}
+	}()
 	if err := faults.Check(faults.SiteDispatch); err != nil {
 		sp.SetAttr("error", err.Error())
 		return CellResponse{}, err
@@ -607,45 +842,63 @@ func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (CellRespon
 
 	for shed := 0; ; shed++ {
 		actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
-		resp, err := c.post(actx, ws.url+CellPath, body)
+		hresp, err := c.post(actx, ws.url+CellPath, body)
 		if err != nil {
 			cancel()
 			sp.SetAttr("error", err.Error())
 			return CellResponse{}, err
 		}
-		b, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
-		resp.Body.Close()
+		b, rerr := io.ReadAll(io.LimitReader(hresp.Body, 8<<20))
+		hresp.Body.Close()
 		cancel()
 		if rerr != nil {
 			sp.SetAttr("error", rerr.Error())
 			return CellResponse{}, rerr
 		}
 		switch {
-		case resp.StatusCode == http.StatusOK:
+		case hresp.StatusCode == http.StatusOK:
+			// The wire fault site corrupts the received bytes here, upstream
+			// of all verification — exactly where a real network fault or
+			// lying worker would land.
+			b = faults.Mangle(faults.SiteWire, b)
 			var cr CellResponse
 			if err := json.Unmarshal(b, &cr); err != nil {
-				return CellResponse{}, fmt.Errorf("cluster: bad cell response from %s: %w", ws.url, err)
+				c.integrityFailures.Add(1)
+				ierr := &integrityError{ws.url, fmt.Sprintf("undecodable response: %v", err)}
+				sp.SetAttr("error", ierr.Error())
+				return CellResponse{}, ierr
+			}
+			if err := cr.verifyIntegrity(cl.key); err != nil {
+				c.integrityFailures.Add(1)
+				ierr := &integrityError{ws.url, err.Error()}
+				sp.SetAttr("error", ierr.Error())
+				return CellResponse{}, ierr
 			}
 			return cr, nil
-		case resp.StatusCode == http.StatusServiceUnavailable:
+		case hresp.StatusCode == http.StatusServiceUnavailable:
+			if hresp.Header.Get(DrainingHeader) != "" {
+				c.drains.Add(1)
+				sp.SetAttr("error", "worker draining")
+				return CellResponse{}, &drainError{ws.url}
+			}
 			c.sheds.Add(1)
 			if shed+1 >= c.opts.ShedBudget {
 				sp.SetAttr("error", "shed budget exhausted")
 				return CellResponse{}, &shedError{ws.url}
 			}
-			if err := sleepRetryAfter(ctx, resp.Header.Get("Retry-After")); err != nil {
+			if err := sleepRetryAfter(ctx, hresp.Header.Get("Retry-After")); err != nil {
 				return CellResponse{}, err
 			}
-		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		case hresp.StatusCode >= 400 && hresp.StatusCode < 500:
 			var eb errorBody
 			_ = json.Unmarshal(b, &eb)
 			if eb.Error == "" {
 				eb.Error = string(b)
 			}
 			sp.SetAttr("error", eb.Error)
-			return CellResponse{}, &terminalError{resp.StatusCode, eb.Error}
+			return CellResponse{}, &terminalError{hresp.StatusCode, eb.Error}
 		default:
-			err := fmt.Errorf("cluster: worker %s returned status %d", ws.url, resp.StatusCode)
+			err := fmt.Errorf("cluster: worker %s returned status %d", ws.url, hresp.StatusCode)
 			sp.SetAttr("error", err.Error())
 			return CellResponse{}, err
 		}
@@ -685,10 +938,14 @@ func sleepRetryAfter(ctx context.Context, header string) error {
 // WorkerStatus is one worker's row in the /debug/cluster dump.
 type WorkerStatus struct {
 	URL string `json:"url"`
-	// Alive is the coordinator's current liveness belief (updated by probes
-	// and dispatch failures).
-	Alive   bool   `json:"alive"`
-	LastErr string `json:"last_err,omitempty"`
+	// Alive is the coordinator's current liveness belief: whether the
+	// worker's circuit breaker would admit traffic now.
+	Alive bool `json:"alive"`
+	// Breaker is the breaker's position — "closed", "open" or "half-open" —
+	// and BreakerTrips its lifetime open transitions.
+	Breaker      string `json:"breaker"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	LastErr      string `json:"last_err,omitempty"`
 	// RingShare is the fraction of the hash space this worker owns — the
 	// expected share of cells assigned to it.
 	RingShare float64 `json:"ring_share"`
@@ -718,6 +975,18 @@ type State struct {
 	// Fallbacks counts cells computed locally because no live worker
 	// remained.
 	Fallbacks int64 `json:"fallbacks"`
+	// Integrity and durability counters.
+	IntegrityFailures int64 `json:"integrity_failures"`
+	Audits            int64 `json:"audits"`
+	AuditMismatches   int64 `json:"audit_mismatches"`
+	Drains            int64 `json:"drains"`
+	// Journal state: Journaled is the live record count (0 with no journal),
+	// JournalReplayed/JournalDropped the startup replay outcome, and
+	// JournalErrs failed journal writes since start.
+	Journaled       int   `json:"journaled"`
+	JournalReplayed int   `json:"journal_replayed"`
+	JournalDropped  int   `json:"journal_dropped"`
+	JournalErrs     int64 `json:"journal_errs"`
 }
 
 // State snapshots the coordinator for the debug surface.
@@ -733,18 +1002,32 @@ func (c *Coordinator) State() State {
 		Hedges:       c.hedges.Load(),
 		Sheds:        c.sheds.Load(),
 		Fallbacks:    c.fallbacks.Load(),
+
+		IntegrityFailures: c.integrityFailures.Load(),
+		Audits:            c.audits.Load(),
+		AuditMismatches:   c.auditMismatches.Load(),
+		Drains:            c.drains.Load(),
+		JournalReplayed:   c.journalReplayed,
+		JournalDropped:    c.journalDropped,
+		JournalErrs:       c.journalErrs.Load(),
+	}
+	if c.opts.Journal != nil {
+		st.Journaled = c.opts.Journal.Len()
 	}
 	shares := c.ringShares()
 	for i, ws := range c.workers {
+		brState, brTrips := ws.br.snapshot()
 		st.Workers = append(st.Workers, WorkerStatus{
-			URL:       ws.url,
-			Alive:     ws.alive.Load(),
-			LastErr:   ws.lastError(),
-			RingShare: shares[i],
-			Assigned:  ws.assigned.Load(),
-			Done:      ws.done.Load(),
-			Stolen:    ws.stolen.Load(),
-			Inflight:  ws.inflight.Load(),
+			URL:          ws.url,
+			Alive:        ws.alive(),
+			Breaker:      brState.String(),
+			BreakerTrips: brTrips,
+			LastErr:      ws.lastError(),
+			RingShare:    shares[i],
+			Assigned:     ws.assigned.Load(),
+			Done:         ws.done.Load(),
+			Stolen:       ws.stolen.Load(),
+			Inflight:     ws.inflight.Load(),
 		})
 	}
 	return st
@@ -770,11 +1053,17 @@ func (c *Coordinator) ringShares() []float64 {
 	return shares
 }
 
-// Workers lists the fleet's worker URLs with current liveness, for /healthz.
+// Workers lists the fleet's worker URLs with current liveness and breaker
+// state, for /healthz.
 func (c *Coordinator) Workers() []WorkerStatus {
 	out := make([]WorkerStatus, len(c.workers))
 	for i, ws := range c.workers {
-		out[i] = WorkerStatus{URL: ws.url, Alive: ws.alive.Load(), LastErr: ws.lastError()}
+		brState, brTrips := ws.br.snapshot()
+		out[i] = WorkerStatus{
+			URL: ws.url, Alive: ws.alive(),
+			Breaker: brState.String(), BreakerTrips: brTrips,
+			LastErr: ws.lastError(),
+		}
 	}
 	return out
 }

@@ -1,8 +1,12 @@
 package cluster
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"smtflex/internal/contention"
 	"smtflex/internal/interval"
+	"smtflex/internal/memo"
 	"smtflex/internal/study"
 )
 
@@ -63,6 +67,43 @@ type CellResponse struct {
 	Iterations     int          `json:"iterations"`
 	Residual       float64      `json:"residual"`
 	Converged      bool         `json:"converged"`
+	// Digest is the integrity hash of the response: SHA-256 (lowercase hex)
+	// over the canonical cell encoding — this struct's JSON with Digest
+	// itself empty. Workers compute it at evaluation time; the coordinator
+	// recomputes it on receipt and quarantines any mismatch. Because the
+	// encoding is the same shortest-round-trip float64 JSON as the wire form,
+	// two correct workers always produce identical digests for the same cell.
+	Digest string `json:"digest"`
+}
+
+// digest computes the canonical integrity digest of resp: memo.KeyHashBytes
+// of the response's JSON with the Digest field zeroed.
+func (resp CellResponse) digest() string {
+	resp.Digest = ""
+	b, err := json.Marshal(resp)
+	if err != nil {
+		// CellResponse contains only marshalable fields; this is unreachable
+		// but must not be silently ignored.
+		panic(fmt.Sprintf("cluster: marshal CellResponse for digest: %v", err)) // panicgate:allow unreachable
+	}
+	return memo.KeyHashBytes(b)
+}
+
+// verifyIntegrity checks that resp is the cell the coordinator asked for and
+// that its content matches its digest. wantKey guards against misrouted or
+// duplicated responses; the digest guards against corruption and lying
+// workers.
+func (resp CellResponse) verifyIntegrity(wantKey string) error {
+	if resp.Key != wantKey {
+		return fmt.Errorf("cell response key %q, want %q", resp.Key, wantKey)
+	}
+	if resp.Digest == "" {
+		return fmt.Errorf("cell response for %s carries no digest", wantKey)
+	}
+	if got := resp.digest(); got != resp.Digest {
+		return fmt.Errorf("cell response digest mismatch for %s: computed %s, carried %s", wantKey, got, resp.Digest)
+	}
+	return nil
 }
 
 // toWire converts an engine MixResult to its wire form.
@@ -86,6 +127,7 @@ func toWire(key string, r study.MixResult) CellResponse {
 			L2: th.Stack.L2, LLC: th.Stack.LLC, Mem: th.Stack.Mem,
 		}
 	}
+	resp.Digest = resp.digest()
 	return resp
 }
 

@@ -45,11 +45,16 @@ const (
 	// makes to a worker; error mode simulates a lost worker, latency mode a
 	// slow network path (exercising hedged re-dispatch).
 	SiteDispatch Site = "dispatch"
+	// SiteWire fires on the coordinator's receive path, corrupting cell
+	// response bytes as a faulty network or lying worker would: bitflip,
+	// truncate and duplicate modes (via Mangle) prove that the integrity
+	// layer quarantines every corrupted response before assembly.
+	SiteWire Site = "wire"
 )
 
 // Sites lists every known injection site.
 func Sites() []Site {
-	return []Site{SiteProfiler, SiteSolver, SiteMemo, SiteWorker, SiteHandler, SiteDispatch}
+	return []Site{SiteProfiler, SiteSolver, SiteMemo, SiteWorker, SiteHandler, SiteDispatch, SiteWire}
 }
 
 // Mode selects what an armed site does.
@@ -64,7 +69,21 @@ const (
 	ModeLatency Mode = "latency"
 	// ModeNaN makes Corrupt return NaN; Check passes.
 	ModeNaN Mode = "nan"
+	// ModeBitflip makes Mangle flip one bit mid-payload; Check passes.
+	ModeBitflip Mode = "bitflip"
+	// ModeTruncate makes Mangle drop the second half of the payload; Check
+	// passes.
+	ModeTruncate Mode = "truncate"
+	// ModeDuplicate makes Mangle append a second copy of the payload; Check
+	// passes.
+	ModeDuplicate Mode = "duplicate"
 )
+
+// mangleMode reports whether m is one of the byte-corruption modes consumed
+// by Mangle rather than Check.
+func mangleMode(m Mode) bool {
+	return m == ModeBitflip || m == ModeTruncate || m == ModeDuplicate
+}
 
 // ErrInjected is the sentinel wrapped by every error Check returns.
 var ErrInjected = errors.New("faults: injected failure")
@@ -164,15 +183,16 @@ func take(site Site) (Injection, bool) {
 
 // Check fires site if armed: ModeError returns an error wrapping
 // ErrInjected, ModePanic panics, and ModeLatency sleeps and returns nil.
-// A ModeNaN arming is left for Corrupt (the value path) and does not consume
-// a firing here. Disabled sites cost one atomic load.
+// A ModeNaN arming is left for Corrupt (the value path), and the byte
+// corruption modes are left for Mangle; neither consumes a firing here.
+// Disabled sites cost one atomic load.
 func Check(site Site) error {
 	if !active.Load() {
 		return nil
 	}
 	mu.Lock()
 	a := sites[site]
-	skip := a == nil || a.inj.Mode == ModeNaN
+	skip := a == nil || a.inj.Mode == ModeNaN || mangleMode(a.inj.Mode)
 	mu.Unlock()
 	if skip {
 		return nil
@@ -213,6 +233,43 @@ func Corrupt(site Site, v float64) float64 {
 	return math.NaN()
 }
 
+// Mangle corrupts b when site is armed in a byte-corruption mode, modeling
+// a wire-level fault: ModeBitflip flips one bit in the middle of the
+// payload (which may still parse — only a content digest catches it),
+// ModeTruncate drops the second half (torn read), and ModeDuplicate appends
+// a second copy (duplicated frame). Any other arming (or none) returns b
+// untouched and does not consume a firing. The input slice is never
+// modified; corruption happens on a copy.
+func Mangle(site Site, b []byte) []byte {
+	if !active.Load() {
+		return b
+	}
+	mu.Lock()
+	a := sites[site]
+	mode := Mode("")
+	if a != nil && mangleMode(a.inj.Mode) && a.remaining != 0 {
+		mode = a.inj.Mode
+	}
+	mu.Unlock()
+	if mode == "" || len(b) == 0 {
+		return b
+	}
+	if _, ok := take(site); !ok {
+		return b
+	}
+	switch mode {
+	case ModeBitflip:
+		out := append([]byte(nil), b...)
+		out[len(out)/2] ^= 0x01
+		return out
+	case ModeTruncate:
+		return append([]byte(nil), b[:len(b)/2]...)
+	default: // ModeDuplicate
+		out := append([]byte(nil), b...)
+		return append(out, b...)
+	}
+}
+
 // ParseSpec arms sites from a comma-separated spec like
 // "solver=error,profiler=latency:50ms,handler=panic:3" — each entry is
 // site=mode, optionally followed by :duration (latency) or :count (other
@@ -240,7 +297,7 @@ func ParseSpec(spec string) error {
 		modeStr, arg, hasArg := strings.Cut(rest, ":")
 		inj := Injection{Mode: Mode(modeStr)}
 		switch inj.Mode {
-		case ModeError, ModePanic, ModeNaN:
+		case ModeError, ModePanic, ModeNaN, ModeBitflip, ModeTruncate, ModeDuplicate:
 			if hasArg {
 				n, err := parseCount(arg)
 				if err != nil {
@@ -258,7 +315,7 @@ func ParseSpec(spec string) error {
 			}
 			inj.Latency = d
 		default:
-			return fmt.Errorf("faults: entry %q: unknown mode %q (want error, panic, latency or nan)", part, modeStr)
+			return fmt.Errorf("faults: entry %q: unknown mode %q (want error, panic, latency, nan, bitflip, truncate or duplicate)", part, modeStr)
 		}
 		Enable(Site(site), inj)
 	}

@@ -119,6 +119,66 @@ func TestCorruptIgnoresOtherModes(t *testing.T) {
 	}
 }
 
+func TestMangleModes(t *testing.T) {
+	Reset()
+	defer Reset()
+	payload := []byte(`{"stp":1.5,"antt":2.0}`)
+
+	cases := []struct {
+		mode Mode
+		want func(got []byte) bool
+	}{
+		{ModeBitflip, func(got []byte) bool {
+			return len(got) == len(payload) && string(got) != string(payload)
+		}},
+		{ModeTruncate, func(got []byte) bool {
+			return len(got) == len(payload)/2 && string(got) == string(payload[:len(payload)/2])
+		}},
+		{ModeDuplicate, func(got []byte) bool {
+			return len(got) == 2*len(payload) && string(got) == string(payload)+string(payload)
+		}},
+	}
+	for _, tc := range cases {
+		Reset()
+		Enable(SiteWire, Injection{Mode: tc.mode, Count: 1})
+		// Check must not consume a mangle arming: the byte path owns it.
+		if err := Check(SiteWire); err != nil {
+			t.Fatalf("%s: Check consumed/failed on a mangle arming: %v", tc.mode, err)
+		}
+		got := Mangle(SiteWire, payload)
+		if !tc.want(got) {
+			t.Fatalf("%s: Mangle returned %q from %q", tc.mode, got, payload)
+		}
+		if string(payload) != `{"stp":1.5,"antt":2.0}` {
+			t.Fatalf("%s: Mangle mutated its input: %q", tc.mode, payload)
+		}
+		// Count-limited arming self-disarms after one firing.
+		if again := Mangle(SiteWire, payload); string(again) != string(payload) {
+			t.Fatalf("%s: mangle did not disarm after count: %q", tc.mode, again)
+		}
+		if Triggered(SiteWire) != 1 {
+			t.Fatalf("%s: triggered %d, want 1", tc.mode, Triggered(SiteWire))
+		}
+	}
+}
+
+func TestMangleIgnoresOtherModesAndDisabled(t *testing.T) {
+	Reset()
+	defer Reset()
+	payload := []byte(`{"v":1}`)
+	if got := Mangle(SiteWire, payload); &got[0] != &payload[0] {
+		t.Fatal("disabled Mangle did not return the input unchanged")
+	}
+	Enable(SiteWire, Injection{Mode: ModeError, Count: 1})
+	if got := Mangle(SiteWire, payload); string(got) != string(payload) {
+		t.Fatalf("Mangle fired on an error arming: %q", got)
+	}
+	// The error arming must still be intact for Check.
+	if err := Check(SiteWire); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Mangle consumed the error arming: %v", err)
+	}
+}
+
 func TestParseSpec(t *testing.T) {
 	Reset()
 	defer Reset()
@@ -130,6 +190,14 @@ func TestParseSpec(t *testing.T) {
 	}
 	if v := Corrupt(SiteMemo, 1); !math.IsNaN(v) {
 		t.Fatal("spec did not arm memo NaN")
+	}
+	Reset()
+
+	if err := ParseSpec("wire=bitflip:2"); err != nil {
+		t.Fatalf("mangle spec rejected: %v", err)
+	}
+	if got := Mangle(SiteWire, []byte("abcd")); string(got) == "abcd" {
+		t.Fatal("spec did not arm wire bitflip")
 	}
 	Reset()
 

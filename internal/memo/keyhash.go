@@ -18,3 +18,12 @@ func KeyHash(key string) string {
 	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:])
 }
+
+// KeyHashBytes is KeyHash for a byte payload rather than a key string. The
+// cluster layer's integrity digests (SHA-256 over a canonical cell encoding)
+// use it so coordinator and workers agree on the hash of the same bytes with
+// the same stability guarantees as KeyHash.
+func KeyHashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -51,3 +51,14 @@ func TestKeyHashDistinct(t *testing.T) {
 		t.Fatal("distinct keys hashed equal")
 	}
 }
+
+// TestKeyHashBytesMatchesKeyHash pins KeyHashBytes to the same function as
+// KeyHash: the cluster integrity digests depend on both sides hashing the
+// same bytes to the same value.
+func TestKeyHashBytesMatchesKeyHash(t *testing.T) {
+	for _, s := range []string{"", "x", `{"stp":0.30000000000000004}`} {
+		if got, want := KeyHashBytes([]byte(s)), KeyHash(s); got != want {
+			t.Errorf("KeyHashBytes(%q) = %s, want %s", s, got, want)
+		}
+	}
+}

@@ -144,8 +144,10 @@ type ErrorResponse struct {
 }
 
 // HealthzResponse is the body of GET /healthz. Role is "solo",
-// "coordinator" or "worker"; a coordinator also reports its live view of
-// the fleet so one scrape answers which workers are reachable.
+// "coordinator" or "worker"; Status is "ok" normally and "draining" (with a
+// 503) while the daemon finishes in-flight work before exit. A coordinator
+// also reports its live view of the fleet so one scrape answers which
+// workers are reachable.
 type HealthzResponse struct {
 	Status  string         `json:"status"`
 	Role    string         `json:"role"`
@@ -153,8 +155,11 @@ type HealthzResponse struct {
 }
 
 // WorkerHealth is one worker's liveness row in a coordinator's /healthz.
+// Breaker is the worker's circuit-breaker position: "closed", "open" or
+// "half-open".
 type WorkerHealth struct {
 	URL     string `json:"url"`
 	Alive   bool   `json:"alive"`
+	Breaker string `json:"breaker,omitempty"`
 	LastErr string `json:"last_err,omitempty"`
 }

@@ -19,6 +19,7 @@ type metrics struct {
 	requests map[routeCode]int64
 	hist     map[string]*histogram
 	rejected int64
+	drainHit int64 // requests refused while draining
 	panics   int64
 	failures map[string]int64 // engine failures by kind
 }
@@ -69,6 +70,13 @@ func (m *metrics) observe(route string, code int, d time.Duration) {
 func (m *metrics) reject() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// drained records one request refused because the server is draining.
+func (m *metrics) drained() {
+	m.mu.Lock()
+	m.drainHit++
 	m.mu.Unlock()
 }
 
@@ -130,6 +138,10 @@ func (m *metrics) write(w io.Writer, samples []sample, hists []engineHist) {
 	fmt.Fprintf(w, "# HELP smtflexd_rejected_total Requests shed by admission control (queue full).\n")
 	fmt.Fprintf(w, "# TYPE smtflexd_rejected_total counter\n")
 	fmt.Fprintf(w, "smtflexd_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintf(w, "# HELP smtflexd_drained_total Requests refused while draining for shutdown.\n")
+	fmt.Fprintf(w, "# TYPE smtflexd_drained_total counter\n")
+	fmt.Fprintf(w, "smtflexd_drained_total %d\n", m.drainHit)
 
 	fmt.Fprintf(w, "# HELP smtflexd_panics_total Handler panics contained by the recover middleware.\n")
 	fmt.Fprintf(w, "# TYPE smtflexd_panics_total counter\n")

@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"smtflex/internal/buildinfo"
@@ -99,6 +100,11 @@ type Server struct {
 	// coord and worker select the daemon's fabric role; both nil means solo.
 	coord  *cluster.Coordinator
 	worker *cluster.Worker
+
+	// draining flips once at shutdown: every new engine-backed request is
+	// answered 503 with the cluster draining header so coordinators reroute,
+	// while in-flight requests run to completion.
+	draining atomic.Bool
 
 	// col buffers completed request traces for /debug/traces and
 	// /debug/timestack; nil when tracing is disabled (TraceBuffer < 0).
@@ -188,6 +194,20 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the root handler, ready for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain puts the server into graceful-drain mode: new engine-backed
+// requests (including a coordinator's cell dispatches) are answered 503
+// with the cluster draining header, /healthz turns 503 "draining", and
+// in-flight requests run to completion. Idempotent; there is no undo —
+// draining ends with process exit.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight reports requests currently executing — the quantity a draining
+// daemon waits to see reach zero before exiting.
+func (s *Server) Inflight() int { return s.adm.executing() }
 
 func (s *Server) study() *study.Study { return s.sim.Study() }
 
@@ -294,6 +314,19 @@ func (s *Server) endpoint(route string, fn handlerFunc) http.Handler {
 		// The root span covers the whole request; finish ends it after the
 		// response is serialized, completing the trace into the ring buffer.
 		tctx, root := obs.StartTrace(rctx, s.col, route)
+
+		if s.draining.Load() {
+			// Refuse before admission: a draining daemon finishes what it
+			// has and takes nothing new. The draining header tells a fabric
+			// coordinator to reroute immediately rather than burn its shed
+			// budget retrying here.
+			s.met.drained()
+			w.Header().Set("Retry-After", retryAfter())
+			w.Header().Set(cluster.DrainingHeader, "1")
+			err := &httpError{http.StatusServiceUnavailable, "draining for shutdown"}
+			s.finish(w, r, tctx, root, rid, route, start, 0, nil, err)
+			return
+		}
 
 		timeout, err := s.requestTimeout(r)
 		if err != nil {
@@ -416,6 +449,14 @@ func decodeJSON(r *http.Request, v any) error {
 // smtOf defaults an absent smt field to true, the paper's headline setup.
 func smtOf(p *bool) bool { return p == nil || *p }
 
+// boolGauge renders a bool as the conventional 0/1 gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func parseKind(raw string) (study.Kind, error) {
 	switch raw {
 	case "", "homogeneous":
@@ -436,8 +477,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// report per-worker liveness so one scrape answers "who is up".
 		s.coord.Probe(r.Context())
 		for _, ws := range s.coord.Workers() {
-			resp.Workers = append(resp.Workers, WorkerHealth{URL: ws.URL, Alive: ws.Alive, LastErr: ws.LastErr})
+			resp.Workers = append(resp.Workers, WorkerHealth{
+				URL: ws.URL, Alive: ws.Alive, Breaker: ws.Breaker, LastErr: ws.LastErr,
+			})
 		}
+	}
+	if s.draining.Load() {
+		// 503 flips load balancers and coordinator probes away while
+		// in-flight work finishes.
+		resp.Status = "draining"
+		w.Header().Set(cluster.DrainingHeader, "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -449,6 +500,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Sprintf(`{go_version=%q,vcs_revision=%q,version=%q}`, bi.GoVersion, bi.Revision, bi.Version), 1},
 		{"smtflexd_queue_waiting", "Requests waiting for an execution slot.", "gauge", "", float64(s.adm.waiting())},
 		{"smtflexd_inflight", "Requests currently executing.", "gauge", "", float64(s.adm.executing())},
+		{"smtflexd_draining", "1 while the daemon is draining for shutdown, else 0.", "gauge", "", boolGauge(s.draining.Load())},
 		{"smtflexd_engine_evaluations_total", "Mix evaluations performed by the experiment engine.", "counter", "", float64(s.study().Evaluations())},
 	}
 	// Per-cache series from every memo cache the engine reaches (solo-rate,
@@ -492,6 +544,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			sample{"smtflexd_cluster_hedges_total", "Backup dispatches launched against straggling workers.", "counter", "", float64(st.Hedges)},
 			sample{"smtflexd_cluster_sheds_total", "503 sheds absorbed from worker admission valves.", "counter", "", float64(st.Sheds)},
 			sample{"smtflexd_cluster_fallbacks_total", "Cells computed locally because no live worker remained.", "counter", "", float64(st.Fallbacks)},
+			sample{"smtflexd_cluster_integrity_failures_total", "Worker responses quarantined for failing integrity verification (bad key, undecodable, digest mismatch).", "counter", "", float64(st.IntegrityFailures)},
+			sample{"smtflexd_cluster_audits_total", "Cells double-dispatched to an independent worker by audit mode.", "counter", "", float64(st.Audits)},
+			sample{"smtflexd_cluster_audit_divergence_total", "Audited cells whose independent workers disagreed (each fails its sweep).", "counter", "", float64(st.AuditMismatches)},
+			sample{"smtflexd_cluster_drains_total", "Dispatches rerouted off a draining worker.", "counter", "", float64(st.Drains)},
+			sample{"smtflexd_cluster_journal_cells", "Cells currently recorded in the write-ahead sweep journal.", "gauge", "", float64(st.Journaled)},
+			sample{"smtflexd_cluster_journal_replayed_total", "Journal records replayed into the fleet store at startup.", "counter", "", float64(st.JournalReplayed)},
+			sample{"smtflexd_cluster_journal_dropped_total", "Journal records dropped as corrupt or unverifiable at startup.", "counter", "", float64(st.JournalDropped)},
+			sample{"smtflexd_cluster_journal_errors_total", "Journal writes that failed (the sweep continues; the cell is simply not durable).", "counter", "", float64(st.JournalErrs)},
 		)
 	}
 	hists := []engineHist{
