@@ -17,6 +17,9 @@
 // The coordinator serves the same API; /v1/sweep fans out across the fleet
 // and returns tables bit-identical to a solo daemon. Workers additionally
 // serve POST /cluster/v1/cell; /debug/cluster dumps assignment state.
+// Dispatches propagate the coordinator's request ID and trace context, and
+// worker spans are stitched back into one trace per sweep — see
+// /debug/traces, /debug/fleet and /debug/flight below.
 //
 // With -journal DIR the coordinator write-ahead-journals every completed
 // cell; a coordinator killed mid-sweep replays the journal on restart and
@@ -36,6 +39,9 @@
 //	GET  /debug/traces            recent request traces (ring buffer)
 //	GET  /debug/traces/{id}       one trace; ?format=chrome for Perfetto
 //	GET  /debug/timestack         per-route wall-time breakdown; ?format=text
+//	GET  /debug/fleet             coordinator: merged worker scrape; ?format=text
+//	GET  /debug/flight            coordinator: recent sweeps' cell lifecycles
+//	GET  /debug/flight/{sweep}    one flight record (>=8-char prefixes resolve)
 //
 // With -debug-addr, a second loopback listener additionally serves Go's
 // pprof profiles under /debug/pprof/. Every request carries an X-Request-ID

@@ -41,16 +41,28 @@ type breaker struct {
 	threshold int           // consecutive failures to trip open
 	cooldown  time.Duration // open → half-open delay
 
-	mu       sync.Mutex
-	state    breakerState
-	fails    int       // consecutive failures while closed
-	openedAt time.Time // when the breaker last tripped
-	probing  bool      // half-open probe slot held
-	trips    int64     // lifetime open transitions (observability)
+	mu         sync.Mutex
+	state      breakerState
+	fails      int       // consecutive failures while closed
+	openedAt   time.Time // when the breaker last tripped
+	probing    bool      // half-open probe slot held
+	trips      int64     // lifetime open transitions (observability)
+	stateSince time.Time // when the breaker last changed state (observability)
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown}
+	return &breaker{threshold: threshold, cooldown: cooldown, stateSince: time.Now()}
+}
+
+// setState transitions the breaker, stamping the transition time so the
+// debug surface can show since-when, not just what. Caller holds b.mu; a
+// same-state call (e.g. success on an already-closed breaker) is not a
+// transition and keeps the original timestamp.
+func (b *breaker) setState(s breakerState, now time.Time) {
+	if b.state != s {
+		b.state = s
+		b.stateSince = now
+	}
 }
 
 // tryAcquire reports whether a dispatch may proceed now. In the half-open
@@ -66,7 +78,7 @@ func (b *breaker) tryAcquire(now time.Time) bool {
 		if now.Sub(b.openedAt) < b.cooldown {
 			return false
 		}
-		b.state = breakerHalfOpen
+		b.setState(breakerHalfOpen, now)
 		b.probing = true
 		return true
 	default: // half-open
@@ -83,7 +95,7 @@ func (b *breaker) tryAcquire(now time.Time) bool {
 func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = breakerClosed
+	b.setState(breakerClosed, time.Now())
 	b.fails = 0
 	b.probing = false
 }
@@ -116,7 +128,7 @@ func (b *breaker) forceOpen(now time.Time) {
 
 // trip moves to open. Caller holds b.mu.
 func (b *breaker) trip(now time.Time) {
-	b.state = breakerOpen
+	b.setState(breakerOpen, now)
 	b.openedAt = now
 	b.fails = 0
 	b.probing = false
@@ -132,11 +144,12 @@ func (b *breaker) release() {
 	b.probing = false
 }
 
-// snapshot returns the current state and lifetime trip count.
-func (b *breaker) snapshot() (breakerState, int64) {
+// snapshot returns the current state, lifetime trip count, and when the
+// breaker entered its current state.
+func (b *breaker) snapshot() (breakerState, int64, time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.state, b.trips
+	return b.state, b.trips, b.stateSince
 }
 
 // allowsTraffic reports whether the breaker would admit a dispatch without

@@ -14,11 +14,11 @@ func TestBreakerTripsAtThreshold(t *testing.T) {
 		}
 		b.failure(t0)
 	}
-	if st, _ := b.snapshot(); st != breakerClosed {
+	if st, _, _ := b.snapshot(); st != breakerClosed {
 		t.Fatalf("breaker %v after 2 failures, want closed", st)
 	}
 	b.failure(t0)
-	if st, trips := b.snapshot(); st != breakerOpen || trips != 1 {
+	if st, trips, _ := b.snapshot(); st != breakerOpen || trips != 1 {
 		t.Fatalf("breaker %v trips=%d after threshold, want open/1", st, trips)
 	}
 	if b.tryAcquire(t0.Add(time.Second)) {
@@ -34,7 +34,7 @@ func TestBreakerSuccessResetsFailureRun(t *testing.T) {
 	b.success()
 	b.failure(t0)
 	b.failure(t0)
-	if st, _ := b.snapshot(); st != breakerClosed {
+	if st, _, _ := b.snapshot(); st != breakerClosed {
 		t.Fatalf("breaker %v, want closed: success must reset the run", st)
 	}
 }
@@ -47,7 +47,7 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 	if !b.tryAcquire(after) {
 		t.Fatal("cooled-down breaker rejected the probe")
 	}
-	if st, _ := b.snapshot(); st != breakerHalfOpen {
+	if st, _, _ := b.snapshot(); st != breakerHalfOpen {
 		t.Fatalf("breaker %v, want half-open", st)
 	}
 	// The probe slot is single-occupancy.
@@ -61,7 +61,7 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 	}
 	// Probe success closes.
 	b.success()
-	if st, _ := b.snapshot(); st != breakerClosed {
+	if st, _, _ := b.snapshot(); st != breakerClosed {
 		t.Fatalf("breaker %v after probe success, want closed", st)
 	}
 }
@@ -75,7 +75,7 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 		t.Fatal("cooled-down breaker rejected the probe")
 	}
 	b.failure(after)
-	if st, trips := b.snapshot(); st != breakerOpen || trips != 2 {
+	if st, trips, _ := b.snapshot(); st != breakerOpen || trips != 2 {
 		t.Fatalf("breaker %v trips=%d after probe failure, want open/2", st, trips)
 	}
 	// The fresh open period starts from the probe failure.
@@ -91,7 +91,7 @@ func TestBreakerForceOpen(t *testing.T) {
 	t0 := time.Unix(1000, 0)
 	b := newBreaker(5, 10*time.Second)
 	b.forceOpen(t0)
-	if st, _ := b.snapshot(); st != breakerOpen {
+	if st, _, _ := b.snapshot(); st != breakerOpen {
 		t.Fatalf("breaker %v after forceOpen, want open", st)
 	}
 	if b.tryAcquire(t0.Add(time.Second)) {
@@ -100,7 +100,7 @@ func TestBreakerForceOpen(t *testing.T) {
 	// forceOpen on an already-open breaker must not extend the cooldown window
 	// count as a new trip.
 	b.forceOpen(t0.Add(time.Second))
-	if _, trips := b.snapshot(); trips != 1 {
+	if _, trips, _ := b.snapshot(); trips != 1 {
 		t.Fatalf("trips = %d after redundant forceOpen, want 1", trips)
 	}
 }

@@ -59,3 +59,11 @@ var ErrAuditDivergence = errors.New("cluster: audit divergence — independent w
 // worker immediately — no shed budget consumed, no breaker penalty — because
 // a draining worker is healthy, just leaving.
 const DrainingHeader = "X-Smtflexd-Draining"
+
+// TraceparentHeader carries the coordinator's trace context on a dispatch:
+// "<trace-id>;<parent-span-id>" (obs.FormatTraceparent). A worker adopts it
+// via obs.StartRemoteTrace so its spans join the coordinator's trace, and
+// returns its completed subtree in the CellResponse for stitching. Dispatches
+// also carry the standard X-Request-ID, which workers reuse in their request
+// logs instead of minting a fresh one.
+const TraceparentHeader = "Smtflexd-Traceparent"

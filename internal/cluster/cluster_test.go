@@ -16,6 +16,7 @@ import (
 
 	"smtflex/internal/config"
 	"smtflex/internal/core"
+	"smtflex/internal/obs"
 	"smtflex/internal/study"
 )
 
@@ -76,19 +77,31 @@ func quietLogger() *slog.Logger {
 
 // newWorkerServer stands up one fabric worker over httptest with the same
 // minimal HTTP shape the daemon's worker role exposes: CellPath plus
-// /healthz. An optional wrap intercepts requests for chaos injection.
+// /healthz, including remote-trace adoption and the response observability
+// envelope. An optional wrap intercepts requests for chaos injection.
 func newWorkerServer(t *testing.T, wrap func(next http.Handler) http.Handler) *httptest.Server {
 	t.Helper()
 	wk := NewWorker(sharedSim().Study(), 0)
+	col := obs.NewCollector(8)
 	mux := http.NewServeMux()
 	mux.HandleFunc(CellPath, func(rw http.ResponseWriter, r *http.Request) {
+		// Mirror the daemon's worker role: adopt the coordinator's propagated
+		// trace context so the evaluation's spans ride home in the response
+		// and graft under the dispatch span that carried the cell.
+		ctx := r.Context()
+		var root *obs.Span
+		if tid, sid, ok := obs.ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx, root = obs.StartRemoteTrace(ctx, col, CellPath, tid, sid)
+		}
+		defer root.End()
 		var req CellRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			rw.WriteHeader(http.StatusBadRequest)
 			json.NewEncoder(rw).Encode(errorBody{err.Error()}) //nolint:errcheck
 			return
 		}
-		resp, err := wk.Evaluate(r.Context(), req)
+		t0 := time.Now()
+		resp, err := wk.Evaluate(ctx, req)
 		if err != nil {
 			code := http.StatusInternalServerError
 			if errors.Is(err, ErrFingerprintMismatch) {
@@ -98,6 +111,7 @@ func newWorkerServer(t *testing.T, wrap func(next http.Handler) http.Handler) *h
 			json.NewEncoder(rw).Encode(errorBody{err.Error()}) //nolint:errcheck
 			return
 		}
+		AttachTrace(ctx, &resp, time.Since(t0).Nanoseconds())
 		json.NewEncoder(rw).Encode(resp) //nolint:errcheck
 	})
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {

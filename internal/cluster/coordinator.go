@@ -67,6 +67,11 @@ type Options struct {
 	Logger *slog.Logger
 }
 
+// dispatchBounds are the per-worker dispatch latency histogram buckets
+// (seconds): wire round trips live in the low milliseconds, full cell
+// evaluations in the tens of milliseconds to seconds.
+var dispatchBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
 // workerState is the coordinator's view of one worker.
 type workerState struct {
 	url      string
@@ -75,6 +80,12 @@ type workerState struct {
 	done     atomic.Int64 // cells this worker completed
 	stolen   atomic.Int64 // cells this worker's dispatchers stole
 	inflight atomic.Int64 // dispatch attempts currently on the wire
+
+	// Wire observability: successful-dispatch latency distribution and
+	// request/response byte totals, exported per worker on /metrics.
+	hist    *obs.Histogram
+	txBytes atomic.Int64
+	rxBytes atomic.Int64
 
 	mu      sync.Mutex
 	lastErr string
@@ -123,6 +134,11 @@ type Coordinator struct {
 
 	storeHits, storeMisses                                atomic.Int64
 	dispatched, steals, retries, hedges, sheds, fallbacks atomic.Int64
+
+	// flight is the sweep flight recorder behind /debug/flight; with a
+	// journal configured it also dumps each finished sweep's record next to
+	// the journal. Nil-safe throughout.
+	flight *flightRecorder
 
 	// Integrity and durability counters.
 	integrityFailures atomic.Int64 // quarantined corrupt/mismatched responses
@@ -182,10 +198,18 @@ func NewCoordinator(st *study.Study, workerURLs []string, opts Options) (*Coordi
 		// The breaker starts closed: optimistic until a probe or dispatch
 		// says otherwise.
 		c.workers = append(c.workers, &workerState{
-			url: u,
-			br:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+			url:  u,
+			br:   newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+			hist: obs.NewHistogram(dispatchBounds),
 		})
 	}
+	flightDir := ""
+	if opts.Journal != nil {
+		flightDir = opts.Journal.Dir()
+	}
+	c.flight = newFlightRecorder(flightDir, func(msg string, err error) {
+		c.log.Warn(msg, "err", err)
+	})
 	c.store.Name = "fleet"
 	if opts.StoreCap > 0 {
 		c.store.Bound(opts.StoreCap)
@@ -295,9 +319,13 @@ func (c *Coordinator) SweepDesign(ctx context.Context, d config.Design, k study.
 type cell struct {
 	n, mi int
 	key   string
+	sweep string // content address of the owning sweep (flight recorder key)
 	d     config.Design
 	mix   workload.Mix
 	req   CellRequest
+	// attempts numbers this cell's dispatch attempts (including hedges and
+	// audits) for span attribution: attempt > 1 is retry/hedge traffic.
+	attempts atomic.Int64
 }
 
 // sched is the per-sweep work-stealing scheduler: one queue per worker,
@@ -400,12 +428,13 @@ func (s *sched) failure() error {
 }
 
 // computeSweep decomposes, dispatches and reassembles one sweep.
-func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study.Kind, prog study.ProgressFunc) (*study.Sweep, error) {
+func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study.Kind, prog study.ProgressFunc) (_ *study.Sweep, err error) {
 	ctx, sp := obs.StartSpan(ctx, "cluster.sweep")
 	sp.SetAttr("design", d.Name)
 	sp.SetAttr("kind", k.String())
 	defer sp.End()
 
+	sweepID := memo.KeyHash(c.st.SweepKey(d, k))
 	c.Probe(ctx)
 	mixes, nMixes, err := c.st.SweepMixes(k)
 	if err != nil {
@@ -431,7 +460,7 @@ func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study
 			}
 			c.storeMisses.Add(1)
 			cells = append(cells, &cell{
-				n: n, mi: mi, key: key, d: d, mix: mix,
+				n: n, mi: mi, key: key, sweep: sweepID, d: d, mix: mix,
 				req: CellRequest{
 					Key:           key,
 					Fingerprint:   fingerprint,
@@ -449,6 +478,12 @@ func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study
 	prefilled := total - len(cells)
 	sp.SetAttr("cells", total)
 	sp.SetAttr("store_hits", prefilled)
+	sp.SetAttr("sweep_id", sweepID)
+	c.flight.begin(sweepID, d.Name, k.String(), total, prefilled)
+	defer func() { c.flight.end(sweepID, err) }()
+	for _, cl := range cells {
+		c.flight.register(sweepID, cl.key, cl.n, cl.mix.ID)
+	}
 	if prog != nil && prefilled > 0 {
 		prog(prefilled, total)
 	}
@@ -489,6 +524,7 @@ func (c *Coordinator) computeSweep(ctx context.Context, d config.Design, k study
 					if stolen {
 						c.steals.Add(1)
 						c.workers[wi].stolen.Add(1)
+						c.flight.event(cl.key, FlightStolen, c.workers[wi].url, "")
 					}
 					resp, err := c.processCell(ctx, cl, wi, stolen)
 					if err != nil {
@@ -627,6 +663,7 @@ func (c *Coordinator) processCell(ctx context.Context, cl *cell, self int, stole
 			// sweep still converges (counted, spanned, and identical by
 			// construction — it is the same EvaluateMixCtx the workers run).
 			c.fallbacks.Add(1)
+			c.flight.event(cl.key, FlightFallback, "", "")
 			_, fsp := obs.StartSpan(ctx, "cluster.fallback")
 			fsp.SetAttr("key", cl.key)
 			r, err := c.st.EvaluateMixCtx(ctx, cl.d, cl.mix)
@@ -634,6 +671,7 @@ func (c *Coordinator) processCell(ctx context.Context, cl *cell, self int, stole
 			if err != nil {
 				return CellResponse{}, fmt.Errorf("cluster: local fallback for %s: %w", cl.mix.ID, err)
 			}
+			c.flight.complete(cl.sweep, cl.key, "")
 			return toWire(cl.key, r), nil
 		}
 		tried[target] = true
@@ -644,6 +682,7 @@ func (c *Coordinator) processCell(ctx context.Context, cl *cell, self int, stole
 			if aerr := c.audit(ctx, cl, resp, winner); aerr != nil {
 				return CellResponse{}, aerr
 			}
+			c.flight.complete(cl.sweep, cl.key, c.workers[winner].url)
 			return resp, nil
 		}
 		var te *terminalError
@@ -654,6 +693,7 @@ func (c *Coordinator) processCell(ctx context.Context, cl *cell, self int, stole
 		// live worker. A quarantined response must re-dispatch to a
 		// *different* worker, which tried already guarantees.
 		c.retries.Add(1)
+		c.flight.event(cl.key, FlightRetried, c.workers[target].url, err.Error())
 		c.log.Warn("cell re-dispatch", "key", cl.key, "worker", c.workers[target].url, "err", err)
 		target = c.pickLive(tried)
 	}
@@ -787,6 +827,7 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, cl *cell, primary int)
 			if backup := c.pickLive(map[int]bool{primary: true}); backup >= 0 {
 				hedged = true
 				c.hedges.Add(1)
+				c.flight.event(cl.key, FlightHedged, c.workers[backup].url, "")
 				_, hsp := obs.StartSpan(hctx, "cluster.hedge")
 				hsp.SetAttr("key", cl.key)
 				hsp.SetAttr("worker", c.workers[backup].url)
@@ -808,9 +849,12 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, cl *cell, primary int)
 // release any held probe slot without a verdict.
 func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (resp CellResponse, err error) {
 	ws := c.workers[wi]
-	_, sp := obs.StartSpan(ctx, "cluster.dispatch")
+	// The dispatch span stays in ctx: post propagates it as the traceparent,
+	// so the worker's subtree grafts back under exactly this span.
+	ctx, sp := obs.StartSpan(ctx, "cluster.dispatch")
 	sp.SetAttr("worker", ws.url)
 	sp.SetAttr("key", cl.key)
+	sp.SetAttr("attempt", cl.attempts.Add(1))
 	defer sp.End()
 	if !ws.br.tryAcquire(time.Now()) {
 		return CellResponse{}, &breakerDeniedError{ws.url}
@@ -837,11 +881,14 @@ func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (resp CellR
 		return CellResponse{}, &terminalError{0, err.Error()}
 	}
 	c.dispatched.Add(1)
+	c.flight.event(cl.key, FlightDispatched, ws.url, "")
 	ws.inflight.Add(1)
 	defer ws.inflight.Add(-1)
 
 	for shed := 0; ; shed++ {
+		t0 := time.Now()
 		actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		ws.txBytes.Add(int64(len(body)))
 		hresp, err := c.post(actx, ws.url+CellPath, body)
 		if err != nil {
 			cancel()
@@ -851,6 +898,8 @@ func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (resp CellR
 		b, rerr := io.ReadAll(io.LimitReader(hresp.Body, 8<<20))
 		hresp.Body.Close()
 		cancel()
+		rtt := time.Since(t0)
+		ws.rxBytes.Add(int64(len(b)))
 		if rerr != nil {
 			sp.SetAttr("error", rerr.Error())
 			return CellResponse{}, rerr
@@ -865,14 +914,26 @@ func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (resp CellR
 			if err := json.Unmarshal(b, &cr); err != nil {
 				c.integrityFailures.Add(1)
 				ierr := &integrityError{ws.url, fmt.Sprintf("undecodable response: %v", err)}
+				c.flight.event(cl.key, FlightQuarantined, ws.url, "undecodable response")
 				sp.SetAttr("error", ierr.Error())
 				return CellResponse{}, ierr
 			}
 			if err := cr.verifyIntegrity(cl.key); err != nil {
 				c.integrityFailures.Add(1)
 				ierr := &integrityError{ws.url, err.Error()}
+				c.flight.event(cl.key, FlightQuarantined, ws.url, err.Error())
 				sp.SetAttr("error", ierr.Error())
 				return CellResponse{}, ierr
+			}
+			ws.hist.Observe(rtt.Seconds())
+			c.flight.attemptDone(cl.key, ws.url, rtt, cr.ComputeNs)
+			if cr.Trace != nil {
+				// Stitch the worker's subtree under this dispatch span, then
+				// strip it: the spans now live in the coordinator's trace, and
+				// the store/journal keep only the digest-covered payload (plus
+				// compute_ns, which is digest-exempt).
+				sp.Graft(time.Unix(0, cr.Trace.StartUnixNs), cr.Trace.Spans, ws.url)
+				cr.Trace = nil
 			}
 			return cr, nil
 		case hresp.StatusCode == http.StatusServiceUnavailable:
@@ -905,13 +966,22 @@ func (c *Coordinator) attempt(ctx context.Context, cl *cell, wi int) (resp CellR
 	}
 }
 
-// post issues one JSON POST under ctx.
+// post issues one JSON POST under ctx, propagating the request's
+// observability identity: the sweep caller's request ID (workers reuse it in
+// their logs and echo it on 503s) and the current trace context (workers
+// adopt it so their spans stitch into the coordinator's trace).
 func (c *Coordinator) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
+	if tid, sid := obs.Traceparent(ctx); tid != "" {
+		req.Header.Set(TraceparentHeader, obs.FormatTraceparent(tid, sid))
+	}
 	return c.client.Do(req)
 }
 
@@ -942,10 +1012,13 @@ type WorkerStatus struct {
 	// worker's circuit breaker would admit traffic now.
 	Alive bool `json:"alive"`
 	// Breaker is the breaker's position — "closed", "open" or "half-open" —
-	// and BreakerTrips its lifetime open transitions.
-	Breaker      string `json:"breaker"`
-	BreakerTrips int64  `json:"breaker_trips"`
-	LastErr      string `json:"last_err,omitempty"`
+	// BreakerTrips its lifetime open transitions, and BreakerSince when it
+	// entered its current position (so a flight record can be read against
+	// breaker history: "open since 12:03:07" explains a burst of retries).
+	Breaker      string    `json:"breaker"`
+	BreakerTrips int64     `json:"breaker_trips"`
+	BreakerSince time.Time `json:"breaker_since"`
+	LastErr      string    `json:"last_err,omitempty"`
 	// RingShare is the fraction of the hash space this worker owns — the
 	// expected share of cells assigned to it.
 	RingShare float64 `json:"ring_share"`
@@ -956,6 +1029,10 @@ type WorkerStatus struct {
 	Done     int64 `json:"done"`
 	Stolen   int64 `json:"stolen"`
 	Inflight int64 `json:"inflight"`
+	// TxBytes/RxBytes are dispatch request/response wire totals to/from this
+	// worker.
+	TxBytes int64 `json:"tx_bytes"`
+	RxBytes int64 `json:"rx_bytes"`
 }
 
 // State is the coordinator's assignment and counter dump for /debug/cluster.
@@ -1016,18 +1093,21 @@ func (c *Coordinator) State() State {
 	}
 	shares := c.ringShares()
 	for i, ws := range c.workers {
-		brState, brTrips := ws.br.snapshot()
+		brState, brTrips, brSince := ws.br.snapshot()
 		st.Workers = append(st.Workers, WorkerStatus{
 			URL:          ws.url,
 			Alive:        ws.alive(),
 			Breaker:      brState.String(),
 			BreakerTrips: brTrips,
+			BreakerSince: brSince,
 			LastErr:      ws.lastError(),
 			RingShare:    shares[i],
 			Assigned:     ws.assigned.Load(),
 			Done:         ws.done.Load(),
 			Stolen:       ws.stolen.Load(),
 			Inflight:     ws.inflight.Load(),
+			TxBytes:      ws.txBytes.Load(),
+			RxBytes:      ws.rxBytes.Load(),
 		})
 	}
 	return st
@@ -1058,15 +1138,47 @@ func (c *Coordinator) ringShares() []float64 {
 func (c *Coordinator) Workers() []WorkerStatus {
 	out := make([]WorkerStatus, len(c.workers))
 	for i, ws := range c.workers {
-		brState, brTrips := ws.br.snapshot()
+		brState, brTrips, brSince := ws.br.snapshot()
 		out[i] = WorkerStatus{
 			URL: ws.url, Alive: ws.alive(),
-			Breaker: brState.String(), BreakerTrips: brTrips,
+			Breaker: brState.String(), BreakerTrips: brTrips, BreakerSince: brSince,
 			LastErr: ws.lastError(),
 		}
 	}
 	return out
 }
+
+// DispatchStat is one worker's wire-level dispatch statistics for /metrics:
+// the latency distribution of successful dispatches plus byte totals.
+type DispatchStat struct {
+	Worker  string
+	Latency obs.HistogramSnapshot
+	TxBytes int64
+	RxBytes int64
+}
+
+// DispatchStats snapshots every worker's dispatch latency histogram and wire
+// byte counters, in fleet order.
+func (c *Coordinator) DispatchStats() []DispatchStat {
+	out := make([]DispatchStat, len(c.workers))
+	for i, ws := range c.workers {
+		out[i] = DispatchStat{
+			Worker:  ws.url,
+			Latency: ws.hist.Snapshot(),
+			TxBytes: ws.txBytes.Load(),
+			RxBytes: ws.rxBytes.Load(),
+		}
+	}
+	return out
+}
+
+// FlightList returns the flight recorder's sweep summaries, active sweeps
+// first, then completed ones newest-first.
+func (c *Coordinator) FlightList() []FlightMeta { return c.flight.list() }
+
+// FlightRecordFor returns one sweep's flight record by content address (or
+// unique ≥8-char prefix).
+func (c *Coordinator) FlightRecordFor(sweep string) (*FlightRecord, bool) { return c.flight.get(sweep) }
 
 // CacheCounters exposes the fleet store and sweep cache counters for
 // /metrics. The store's hits/misses are the coordinator's own counters

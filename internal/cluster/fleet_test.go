@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeObservableWorker serves the three scrape surfaces with fixed content:
+// a tiny Prometheus exposition, one time-stack group, and machstats (or a
+// 404 for the feature-gated surfaces when gated is true).
+func fakeObservableWorker(t *testing.T, gated bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rw.Write([]byte("# HELP smtflexd_inflight Requests currently executing.\n" + //nolint:errcheck
+			"# TYPE smtflexd_inflight gauge\n" +
+			"smtflexd_inflight 2\n" +
+			"smtflexd_requests_total{route=\"/v1/sweep\",code=\"200\"} 5\n"))
+	})
+	if !gated {
+		mux.HandleFunc("GET /debug/timestack", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			rw.Write([]byte(`{"stacks":[{"name":"/v1/sweep","traces":2,"wall_ns":100,` + //nolint:errcheck
+				`"by_ns":{"solve":60,"other":40},"percent":{"solve":60,"other":40}}]}`))
+		})
+		mux.HandleFunc("GET /debug/machstats", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			rw.Write([]byte(`{"counters":[{"name":"llc_misses","value":7}],` + //nolint:errcheck
+				`"cycles":[{"name":"mem","cycles":3.5}],"stacks":[]}`))
+		})
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFleetSnapshotMergesAndDegrades scrapes two live workers (one with the
+// optional surfaces gated off) plus one dead one: the dead worker degrades to
+// an error row, totals sum across whoever answered, and the merged time
+// stacks recompute their percentages over fleet-wide nanoseconds.
+func TestFleetSnapshotMergesAndDegrades(t *testing.T) {
+	full := fakeObservableWorker(t, false)
+	gated := fakeObservableWorker(t, true)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	c := newTestCoordinator(t, []string{full.URL, gated.URL, dead.URL}, testOptions())
+	snap := c.FleetSnapshot(context.Background())
+
+	if len(snap.Workers) != 3 || snap.Scraped != 2 || snap.Errors != 1 {
+		t.Fatalf("snapshot workers=%d scraped=%d errors=%d, want 3/2/1", len(snap.Workers), snap.Scraped, snap.Errors)
+	}
+	for _, row := range snap.Workers {
+		switch row.URL {
+		case dead.URL:
+			if row.Err == "" {
+				t.Error("dead worker row carries no error")
+			}
+		case full.URL:
+			if row.Err != "" || len(row.TimeStacks) != 1 || row.MachCounters["counter/llc_misses"] != 7 {
+				t.Errorf("full worker row: %+v", row)
+			}
+		case gated.URL:
+			// Gated debug surfaces are a configuration, not a scrape failure.
+			if row.Err != "" || row.TimeStacks != nil || row.MachCounters != nil {
+				t.Errorf("gated worker row: %+v", row)
+			}
+		}
+	}
+	if got := snap.Totals["smtflexd_inflight"]; got != 4 {
+		t.Errorf("summed inflight = %g, want 4", got)
+	}
+	if got := snap.Totals[`smtflexd_requests_total{route="/v1/sweep",code="200"}`]; got != 10 {
+		t.Errorf("summed labeled series = %g, want 10", got)
+	}
+	if got := snap.MachCounters["cycles/mem"]; got != 3.5 {
+		t.Errorf("merged cycles/mem = %g, want 3.5", got)
+	}
+	if len(snap.TimeStacks) != 1 || snap.TimeStacks[0].ByNs["solve"] != 60 || snap.TimeStacks[0].Percent["solve"] != 60 {
+		t.Errorf("merged time stacks: %+v", snap.TimeStacks)
+	}
+
+	text := snap.RenderText()
+	for _, want := range []string{"3 workers, 2 scraped, 1 errors", "smtflexd_inflight", "cycles/mem", "/v1/sweep"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("RenderText missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestParsePromText pins the scrape parser's tolerance: comments, blanks and
+// garbage lines are skipped, labeled and bare series both parse.
+func TestParsePromText(t *testing.T) {
+	got := parsePromText([]byte("# HELP x y\n# TYPE x counter\nx 1\nx{a=\"b\"} 2.5\n\nnot a sample\nbad value{} x\n"))
+	if len(got) != 2 || got["x"] != 1 || got[`x{a="b"}`] != 2.5 {
+		t.Fatalf("parsePromText = %v", got)
+	}
+}

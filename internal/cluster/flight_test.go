@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderTracksSweep drives a real journaled sweep and checks the
+// flight record end to end: every dispatchable cell is logged queued →
+// dispatched → completed with its worker and timing split, the record is
+// retrievable by full ID and by prefix, and a dump lands next to the journal.
+func TestFlightRecorderTracksSweep(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.Journal = openTestJournal(t, dir)
+	ws := newWorkerServer(t, nil)
+	c := newTestCoordinator(t, []string{ws.URL}, opts)
+	fleetSweepJSON(t, c)
+
+	metas := c.FlightList()
+	if len(metas) != 1 {
+		t.Fatalf("flight list has %d sweeps, want 1", len(metas))
+	}
+	m := metas[0]
+	if m.Active || m.Err != "" || m.Total == 0 || m.Completed != m.Total-m.Prefilled {
+		t.Fatalf("flight meta after a clean sweep: %+v", m)
+	}
+
+	rec, ok := c.FlightRecordFor(m.Sweep)
+	if !ok {
+		t.Fatalf("no flight record for sweep %s", m.Sweep)
+	}
+	if len(rec.Cells) != m.Total-m.Prefilled {
+		t.Fatalf("record has %d cells, want %d dispatchable", len(rec.Cells), m.Total-m.Prefilled)
+	}
+	for _, cl := range rec.Cells {
+		if !cl.Done || cl.Worker != ws.URL || cl.Attempts < 1 {
+			t.Fatalf("cell %s: %+v, want done via %s", cl.Key, cl, ws.URL)
+		}
+		if cl.WallNs <= 0 || cl.QueueNs < 0 || cl.WireNs < 0 || cl.ComputeNs < 0 {
+			t.Fatalf("cell %s timing split: wall=%d queue=%d wire=%d compute=%d", cl.Key, cl.WallNs, cl.QueueNs, cl.WireNs, cl.ComputeNs)
+		}
+		if len(cl.Events) < 3 || cl.Events[0].Kind != FlightQueued || cl.Events[len(cl.Events)-1].Kind != FlightCompleted {
+			t.Fatalf("cell %s events: %+v, want queued ... completed", cl.Key, cl.Events)
+		}
+	}
+
+	// Prefix lookup (dump filenames truncate the address) and a miss.
+	if rec2, ok := c.FlightRecordFor(m.Sweep[:12]); !ok || rec2.Sweep != m.Sweep {
+		t.Errorf("prefix lookup %s failed", m.Sweep[:12])
+	}
+	if _, ok := c.FlightRecordFor("deadbeef0000"); ok {
+		t.Error("lookup of unknown sweep succeeded")
+	}
+
+	// The dump next to the journal: atomic, decodable, same sweep.
+	path := filepath.Join(dir, "flight-"+m.Sweep[:16]+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	var dumped FlightRecord
+	if err := json.Unmarshal(b, &dumped); err != nil {
+		t.Fatalf("flight dump not valid JSON: %v", err)
+	}
+	if dumped.Sweep != m.Sweep || len(dumped.Cells) != len(rec.Cells) {
+		t.Fatalf("dumped record sweep=%s cells=%d, want %s/%d", dumped.Sweep, len(dumped.Cells), m.Sweep, len(rec.Cells))
+	}
+}
+
+// TestFlightRecorderBounds pins the recorder's safety properties: per-cell
+// event capping, the completed-sweep ring bound, and nil-receiver inertness.
+func TestFlightRecorderBounds(t *testing.T) {
+	f := newFlightRecorder("", nil)
+	f.begin("sweep-events", "4B", "heterogeneous", 1, 0)
+	f.register("sweep-events", "cellA", 2, "mix-1")
+	for i := 0; i < maxFlightEvents+10; i++ {
+		f.event("cellA", FlightRetried, "w1", "boom")
+	}
+	f.attemptDone("cellA", "w1", 5*time.Millisecond, 2e6)
+	f.complete("sweep-events", "cellA", "w1")
+	f.end("sweep-events", nil)
+
+	rec, ok := f.get("sweep-events")
+	if !ok || len(rec.Cells) != 1 {
+		t.Fatalf("record not retrievable: ok=%t", ok)
+	}
+	cl := rec.Cells[0]
+	if len(cl.Events) != maxFlightEvents || cl.DroppedEvents == 0 {
+		t.Errorf("events=%d dropped=%d, want capped at %d with drops counted", len(cl.Events), cl.DroppedEvents, maxFlightEvents)
+	}
+	if cl.Retries != maxFlightEvents+10 {
+		t.Errorf("retries=%d, want counters to advance past the event cap", cl.Retries)
+	}
+	if cl.WireNs != 3e6 || cl.ComputeNs != 2e6 {
+		t.Errorf("wire=%d compute=%d, want RTT minus compute split", cl.WireNs, cl.ComputeNs)
+	}
+
+	for i := 0; i < maxFlightSweeps+3; i++ {
+		id := fmt.Sprintf("sweep-ring-%02d", i)
+		f.begin(id, "4B", "homogeneous", 0, 0)
+		f.end(id, nil)
+	}
+	if got := len(f.list()); got != maxFlightSweeps {
+		t.Errorf("completed ring holds %d sweeps, want %d", got, maxFlightSweeps)
+	}
+
+	var nilRec *flightRecorder
+	nilRec.begin("x", "d", "k", 1, 0)
+	nilRec.register("x", "k1", 1, "m")
+	nilRec.event("k1", FlightDispatched, "w", "")
+	nilRec.complete("x", "k1", "w")
+	nilRec.end("x", nil)
+	if nilRec.list() != nil {
+		t.Error("nil recorder returned a non-nil list")
+	}
+	if _, ok := nilRec.get("x"); ok {
+		t.Error("nil recorder returned a record")
+	}
+}
+
+// TestFlightRecorderFailedSweep: an aborted sweep's record carries the error
+// and stays retrievable.
+func TestFlightRecorderFailedSweep(t *testing.T) {
+	f := newFlightRecorder("", nil)
+	f.begin("sweep-err", "4B", "heterogeneous", 4, 1)
+	f.end("sweep-err", context.Canceled)
+	rec, ok := f.get("sweep-err")
+	if !ok || rec.Err != context.Canceled.Error() || rec.Active {
+		t.Fatalf("failed sweep record: ok=%t rec=%+v", ok, rec)
+	}
+}

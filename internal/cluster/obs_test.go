@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"smtflex/internal/obs"
+	"smtflex/internal/study"
+)
+
+// TestFleetSweepBitIdenticalWithTracing extends the engine's bit-identity
+// contract across the fabric: arming tracing must not change one bit of a
+// distributed sweep at any fleet size, and the armed run must produce exactly
+// one stitched trace per sweep — worker evaluation spans grafted under the
+// cluster.dispatch spans that carried them, each stamped with its worker's
+// lane — whose fleet time stack decomposes ≥95% of the attributed time into
+// named fabric components.
+func TestFleetSweepBitIdenticalWithTracing(t *testing.T) {
+	obs.Disable()
+	want := localSweepJSON(t) // the dark golden, computed before arming
+
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	for _, nWorkers := range []int{1, 2, 4} {
+		var urls []string
+		for i := 0; i < nWorkers; i++ {
+			urls = append(urls, newWorkerServer(t, nil).URL)
+		}
+		c := newTestCoordinator(t, urls, testOptions())
+		col := obs.NewCollector(4)
+		ctx, root := obs.StartTrace(context.Background(), col, "/v1/sweep")
+		sw, err := c.SweepDesign(ctx, testDesign(), study.Heterogeneous)
+		root.End()
+		if err != nil {
+			t.Fatalf("fleet of %d: armed sweep: %v", nWorkers, err)
+		}
+		got, err := json.Marshal(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("fleet of %d: armed sweep differs from dark golden", nWorkers)
+		}
+
+		if col.Len() != 1 {
+			t.Fatalf("fleet of %d: %d traces buffered, want one stitched trace", nWorkers, col.Len())
+		}
+		snap := col.Traces()[0].Snapshot()
+
+		names := make(map[string]string, len(snap.Spans)) // span ID -> name
+		parents := make(map[string]string, len(snap.Spans))
+		for _, sp := range snap.Spans {
+			names[sp.ID] = sp.Name
+			parents[sp.ID] = sp.Parent
+		}
+		underDispatch := func(id string) bool {
+			for id != "" {
+				id = parents[id]
+				if names[id] == "cluster.dispatch" {
+					return true
+				}
+			}
+			return false
+		}
+		lanes := make(map[string]bool)
+		solves := 0
+		for _, sp := range snap.Spans {
+			lane, _ := sp.Attrs[obs.LaneAttr].(string)
+			if lane == "" {
+				continue
+			}
+			lanes[lane] = true
+			if sp.Name != "contention.solve" {
+				continue
+			}
+			solves++
+			if !underDispatch(sp.ID) {
+				t.Fatalf("fleet of %d: grafted contention.solve span %s not a descendant of any cluster.dispatch span", nWorkers, sp.ID)
+			}
+		}
+		if solves == 0 {
+			t.Errorf("fleet of %d: no grafted contention.solve spans in the stitched trace", nWorkers)
+		}
+		if wantLanes := min(nWorkers, 2); len(lanes) < wantLanes {
+			t.Errorf("fleet of %d: %d distinct worker lanes in the stitched trace, want >= %d", nWorkers, len(lanes), wantLanes)
+		}
+
+		// The fleet decomposition: at least 95% of the attributed time lands
+		// in a named fabric component, not "other".
+		stacks := obs.FleetTimeStacks([]obs.TraceJSON{snap})
+		if len(stacks) != 1 {
+			t.Fatalf("fleet of %d: %d time-stack groups, want 1", nWorkers, len(stacks))
+		}
+		var total int64
+		for _, ns := range stacks[0].ByNs {
+			total += ns
+		}
+		if total <= 0 {
+			t.Fatalf("fleet of %d: empty fleet time stack", nWorkers)
+		}
+		if other := stacks[0].ByNs[obs.FleetCatOther]; float64(other)/float64(total) > 0.05 {
+			t.Errorf("fleet of %d: %0.1f%% of fleet time unattributed (stack %v), want <= 5%%",
+				nWorkers, 100*float64(other)/float64(total), stacks[0].ByNs)
+		}
+	}
+}
+
+// TestDispatchCarriesRequestID pins the identity-propagation satellite: the
+// coordinator stamps its request ID on every outbound cell dispatch, so
+// worker request logs correlate with the coordinator's.
+func TestDispatchCarriesRequestID(t *testing.T) {
+	var mu sync.Mutex
+	rids := make(map[string]bool)
+	ws := newWorkerServer(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, CellPath) {
+				mu.Lock()
+				rids[r.Header.Get("X-Request-ID")] = true
+				mu.Unlock()
+			}
+			next.ServeHTTP(rw, r)
+		})
+	})
+	c := newTestCoordinator(t, []string{ws.URL}, testOptions())
+	ctx := obs.WithRequestID(context.Background(), "rid-fabric-1")
+	if _, err := c.SweepDesign(ctx, testDesign(), study.Heterogeneous); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(rids) != 1 || !rids["rid-fabric-1"] {
+		t.Errorf("dispatch request IDs seen by worker: %v, want exactly rid-fabric-1", rids)
+	}
+}
+
+// TestWireEnvelopeExcludedFromDigest pins the integrity contract the
+// observability envelope rides on: two responses differing only in trace and
+// compute time carry the same digest, and mutating payload fields breaks it.
+func TestWireEnvelopeExcludedFromDigest(t *testing.T) {
+	base := CellResponse{Key: "k", STP: 1.5, ANTT: 2.0, Converged: true}
+	base.Digest = base.digest()
+
+	withEnvelope := base
+	withEnvelope.ComputeNs = 12345
+	withEnvelope.Trace = &CellTrace{TraceID: "t-1", StartUnixNs: 99, Spans: []obs.SpanJSON{{ID: "s1", Name: "contention.solve"}}}
+	if err := withEnvelope.verifyIntegrity("k"); err != nil {
+		t.Fatalf("envelope fields broke the digest: %v", err)
+	}
+
+	tampered := withEnvelope
+	tampered.STP = 1.6
+	if err := tampered.verifyIntegrity("k"); err == nil {
+		t.Fatal("tampered payload passed integrity verification")
+	}
+}

@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
 	"smtflex/internal/contention"
 	"smtflex/internal/interval"
 	"smtflex/internal/memo"
+	"smtflex/internal/obs"
 	"smtflex/internal/study"
 )
 
@@ -74,12 +76,63 @@ type CellResponse struct {
 	// encoding is the same shortest-round-trip float64 JSON as the wire form,
 	// two correct workers always produce identical digests for the same cell.
 	Digest string `json:"digest"`
+
+	// Trace and ComputeNs are the observability envelope: the worker's
+	// completed span subtree (bounded — see AttachTrace) and how long this
+	// evaluation took on the worker. Both are excluded from the digest:
+	// timings legitimately differ between two correct evaluations of the
+	// same cell, so they must not participate in integrity verification,
+	// audit comparison, or journal replay. The coordinator grafts Trace into
+	// its own trace and strips it before storing or journaling the cell.
+	Trace     *CellTrace `json:"trace,omitempty"`
+	ComputeNs int64      `json:"compute_ns,omitempty"`
+}
+
+// CellTrace is a worker's completed span subtree riding home in a
+// CellResponse: span times are nanoseconds relative to StartUnixNs on the
+// worker's clock, and obs.Span.Graft re-anchors them on the coordinator.
+type CellTrace struct {
+	TraceID     string         `json:"trace_id"`
+	StartUnixNs int64          `json:"start_unix_ns"`
+	Dropped     int            `json:"dropped,omitempty"`
+	Spans       []obs.SpanJSON `json:"spans"`
+}
+
+// maxWireSpans bounds the subtree one CellResponse carries home; a worker
+// evaluating one cell produces a handful of spans, so the cap only matters
+// when something pathological (a runaway child campaign) would otherwise
+// bloat every dispatch response.
+const maxWireSpans = 256
+
+// AttachTrace fills the response's observability envelope from the worker's
+// in-flight request trace: the completed spans so far (the evaluation is done
+// by the time this is called) plus the measured compute time. With tracing
+// dark there is no current trace and only ComputeNs is set.
+func AttachTrace(ctx context.Context, resp *CellResponse, computeNs int64) {
+	if resp == nil {
+		return
+	}
+	resp.ComputeNs = computeNs
+	if t := obs.CurrentTrace(ctx); t != nil {
+		spans, start, dropped := t.WireSubtree(maxWireSpans)
+		if len(spans) > 0 {
+			resp.Trace = &CellTrace{
+				TraceID:     t.ID,
+				StartUnixNs: start.UnixNano(),
+				Dropped:     dropped,
+				Spans:       spans,
+			}
+		}
+	}
 }
 
 // digest computes the canonical integrity digest of resp: memo.KeyHashBytes
-// of the response's JSON with the Digest field zeroed.
+// of the response's JSON with the Digest field and the observability
+// envelope (Trace, ComputeNs) zeroed — see the field comments above.
 func (resp CellResponse) digest() string {
 	resp.Digest = ""
+	resp.Trace = nil
+	resp.ComputeNs = 0
 	b, err := json.Marshal(resp)
 	if err != nil {
 		// CellResponse contains only marshalable fields; this is unreachable

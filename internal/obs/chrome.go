@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
@@ -28,7 +29,10 @@ type ChromeFile struct {
 // ChromeEvents renders one trace as complete events. Overlapping spans are
 // assigned to lanes (tids) greedily so concurrent pool tasks render side by
 // side instead of stacking into one unreadable row; pid distinguishes traces
-// when several are merged into one file.
+// when several are merged into one file. Spans grafted from a remote process
+// (those carrying the lane attribute) are laid out in their own named lanes —
+// one tid block per worker, labeled with thread_name metadata events — so a
+// stitched fleet trace reads as one coordinator row plus one row per worker.
 func ChromeEvents(t TraceJSON, pid int) []ChromeEvent {
 	spans := append([]SpanJSON(nil), t.Spans...)
 	sort.SliceStable(spans, func(i, j int) bool {
@@ -40,11 +44,6 @@ func ChromeEvents(t TraceJSON, pid int) []ChromeEvent {
 		return spans[i].DurNs > spans[j].DurNs
 	})
 
-	// Each lane holds a stack of still-open spans. A span may join a lane only
-	// when the lane is idle at its start or the innermost open span there is
-	// one of its ancestors — so a child nests inside its parent's row, while
-	// overlapping siblings (concurrent pool tasks) spill into separate lanes
-	// and render side by side instead of stacking into one unreadable row.
 	parentOf := make(map[string]string, len(spans))
 	for _, s := range spans {
 		parentOf[s.ID] = s.Parent
@@ -58,58 +57,97 @@ func ChromeEvents(t TraceJSON, pid int) []ChromeEvent {
 		}
 		return false
 	}
+
+	// Partition spans by lane attribute: the local process first, then one
+	// group per remote lane name in first-appearance order (span order is
+	// deterministic after the sort above).
+	laneName := func(s SpanJSON) string {
+		name, _ := s.Attrs[LaneAttr].(string)
+		return name
+	}
+	groupNames := []string{""}
+	groupSpans := map[string][]SpanJSON{}
+	for _, s := range spans {
+		ln := laneName(s)
+		if _, seen := groupSpans[ln]; !seen && ln != "" {
+			groupNames = append(groupNames, ln)
+		}
+		groupSpans[ln] = append(groupSpans[ln], s)
+	}
+
+	// Each lane holds a stack of still-open spans. A span may join a lane only
+	// when the lane is idle at its start or the innermost open span there is
+	// one of its ancestors — so a child nests inside its parent's row, while
+	// overlapping siblings (concurrent pool tasks, or one worker's concurrent
+	// cells) spill into separate lanes and render side by side.
 	type open struct {
 		id    string
 		endNs int64
 	}
-	var lanes [][]open
-	fits := func(li int, s SpanJSON) bool {
-		stack := lanes[li]
-		for len(stack) > 0 && stack[len(stack)-1].endNs <= s.StartNs {
-			stack = stack[:len(stack)-1]
+	events := make([]ChromeEvent, 0, len(spans)+len(groupNames))
+	tidBase := 0
+	for _, gn := range groupNames {
+		var lanes [][]open
+		fits := func(li int, s SpanJSON) bool {
+			stack := lanes[li]
+			for len(stack) > 0 && stack[len(stack)-1].endNs <= s.StartNs {
+				stack = stack[:len(stack)-1]
+			}
+			lanes[li] = stack
+			return len(stack) == 0 || isAncestor(stack[len(stack)-1].id, s.ID)
 		}
-		lanes[li] = stack
-		return len(stack) == 0 || isAncestor(stack[len(stack)-1].id, s.ID)
-	}
-	laneOf := make(map[string]int, len(spans))
-	events := make([]ChromeEvent, 0, len(spans))
-	for _, s := range spans {
-		li := -1
-		if pl, ok := laneOf[s.Parent]; ok && s.Parent != "" && fits(pl, s) {
-			li = pl
-		} else {
-			for k := range lanes {
-				if fits(k, s) {
-					li = k
-					break
+		laneOf := make(map[string]int)
+		for _, s := range groupSpans[gn] {
+			li := -1
+			if pl, ok := laneOf[s.Parent]; ok && s.Parent != "" && fits(pl, s) {
+				li = pl
+			} else {
+				for k := range lanes {
+					if fits(k, s) {
+						li = k
+						break
+					}
 				}
 			}
-		}
-		if li == -1 {
-			lanes = append(lanes, nil)
-			li = len(lanes) - 1
-		}
-		lanes[li] = append(lanes[li], open{id: s.ID, endNs: s.StartNs + s.DurNs})
-		laneOf[s.ID] = li
+			if li == -1 {
+				lanes = append(lanes, nil)
+				li = len(lanes) - 1
+			}
+			lanes[li] = append(lanes[li], open{id: s.ID, endNs: s.StartNs + s.DurNs})
+			laneOf[s.ID] = li
 
-		ev := ChromeEvent{
-			Name:  s.Name,
-			Phase: "X",
-			TsUs:  float64(s.StartNs) / 1e3,
-			DurUs: float64(s.DurNs) / 1e3,
-			PID:   pid,
-			TID:   li,
-		}
-		if len(s.Attrs) > 0 || s.ID != "" {
-			ev.Args = map[string]any{"span_id": s.ID}
-			for k, v := range s.Attrs {
-				ev.Args[k] = v
+			ev := ChromeEvent{
+				Name:  s.Name,
+				Phase: "X",
+				TsUs:  float64(s.StartNs) / 1e3,
+				DurUs: float64(s.DurNs) / 1e3,
+				PID:   pid,
+				TID:   tidBase + li,
 			}
-			if t.RequestID != "" {
-				ev.Args["request_id"] = t.RequestID
+			if len(s.Attrs) > 0 || s.ID != "" {
+				ev.Args = map[string]any{"span_id": s.ID}
+				for k, v := range s.Attrs {
+					ev.Args[k] = v
+				}
+				if t.RequestID != "" {
+					ev.Args["request_id"] = t.RequestID
+				}
+			}
+			events = append(events, ev)
+		}
+		if gn != "" {
+			for k := range lanes {
+				label := gn
+				if k > 0 {
+					label = fmt.Sprintf("%s #%d", gn, k+1)
+				}
+				events = append(events, ChromeEvent{
+					Name: "thread_name", Phase: "M", PID: pid, TID: tidBase + k,
+					Args: map[string]any{"name": label},
+				})
 			}
 		}
-		events = append(events, ev)
+		tidBase += len(lanes)
 	}
 	return events
 }

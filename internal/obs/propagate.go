@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the cross-process half of the tracing layer: a coordinator
+// serializes its current trace context onto an outbound dispatch
+// (Traceparent/FormatTraceparent), the worker adopts it as the identity of a
+// fresh local trace (ParseTraceparent/StartRemoteTrace), runs the request
+// under ordinary StartSpan instrumentation, and ships the completed spans back
+// in its response (WireSubtree). The coordinator then grafts that subtree
+// under the dispatch span that carried it (Span.Graft), yielding one stitched
+// tree per sweep. Propagation carries identifiers only — no deadlines, no
+// baggage — and every hop is nil-safe and disabled-path-cheap like the rest
+// of the package.
+
+// LaneAttr is the attribute key Graft stamps on every imported span naming
+// the remote process (worker URL) it came from. The Chrome export groups
+// spans sharing a lane into a named thread lane, and the fleet time stack
+// uses it to classify remote compute.
+const LaneAttr = "lane"
+
+// maxPropagationID bounds the accepted length of propagated trace/span IDs,
+// mirroring the server's request-ID limit.
+const maxPropagationID = 64
+
+// ValidPropagationID reports whether s is safe to adopt as a remote trace or
+// span identifier: non-empty, bounded, and limited to the characters our own
+// IDs use plus dots (Graft prefixes). Anything else is minted fresh instead.
+func ValidPropagationID(s string) bool {
+	if s == "" || len(s) > maxPropagationID {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Traceparent returns the context's current trace and span identifiers for
+// propagation onto an outbound request, or ("", "") when no trace is active.
+func Traceparent(ctx context.Context) (traceID, spanID string) {
+	if !enabled.Load() {
+		return "", ""
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	if sp == nil {
+		return "", ""
+	}
+	return sp.tr.ID, sp.ID
+}
+
+// FormatTraceparent renders the wire form of a propagated trace context:
+// "<trace-id>;<parent-span-id>". Returns "" if either part is empty.
+func FormatTraceparent(traceID, spanID string) string {
+	if traceID == "" || spanID == "" {
+		return ""
+	}
+	return traceID + ";" + spanID
+}
+
+// ParseTraceparent splits a propagated trace context produced by
+// FormatTraceparent and validates both halves. ok is false for anything
+// malformed, over-long, or containing unexpected characters — the receiver
+// then falls back to minting a fresh local trace.
+func ParseTraceparent(v string) (traceID, spanID string, ok bool) {
+	tid, sid, found := strings.Cut(strings.TrimSpace(v), ";")
+	if !found || !ValidPropagationID(tid) || !ValidPropagationID(sid) {
+		return "", "", false
+	}
+	return tid, sid, true
+}
+
+// StartRemoteTrace is StartTrace for a request that arrived carrying a remote
+// trace context: the new local trace adopts the remote trace ID (so the two
+// halves can be stitched) and records the remote parent span on its root as
+// the "remote_parent" attribute. The root span still has an empty Parent —
+// locally it is a root, and ending it completes and publishes the local
+// trace as usual. Invalid identifiers fall back to StartTrace.
+func StartRemoteTrace(ctx context.Context, col *Collector, name, traceID, parentSpanID string) (context.Context, *Span) {
+	if !enabled.Load() || col == nil {
+		return ctx, nil
+	}
+	if !ValidPropagationID(traceID) || !ValidPropagationID(parentSpanID) {
+		return StartTrace(ctx, col, name)
+	}
+	t := &Trace{ID: traceID, Name: name, RequestID: RequestID(ctx), Start: time.Now(), col: col}
+	root := &Span{tr: t, ID: "s0", Name: name, Start: t.Start}
+	root.SetAttr("remote_parent", parentSpanID)
+	return context.WithValue(ctx, spanKey{}, root), root
+}
+
+// CurrentTrace returns the trace the context's current span belongs to, or
+// nil when no trace is active. Handlers use it to export their own in-flight
+// trace (WireSubtree) for return to a remote caller.
+func CurrentTrace(ctx context.Context) *Trace {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	if sp == nil {
+		return nil
+	}
+	return sp.tr
+}
+
+// WireSubtree renders the trace's completed spans for cross-process return,
+// bounded at max spans (earliest-started survive; overflow is counted in
+// dropped together with spans the trace itself already dropped). The returned
+// start anchors the relative span times to the remote wall clock; Graft
+// re-anchors them on the receiving side.
+func (t *Trace) WireSubtree(max int) (spans []SpanJSON, start time.Time, dropped int) {
+	if t == nil {
+		return nil, time.Time{}, 0
+	}
+	snap := t.Snapshot()
+	spans, dropped = snap.Spans, snap.DroppedSpans
+	if max > 0 && len(spans) > max {
+		dropped += len(spans) - max
+		spans = spans[:max]
+	}
+	return spans, t.Start, dropped
+}
+
+// Graft imports a remote subtree (as produced by WireSubtree) into the
+// receiving trace, attached under s — in practice the cluster.dispatch span
+// whose request carried the work. Remote span IDs are rewritten with a
+// per-graft prefix so repeated dispatches can never collide; subtree spans
+// whose parent did not survive the wire cap reattach directly under s; every
+// imported span is stamped with the lane attribute. Remote clocks are not
+// trusted: if the subtree claims to start before the dispatch span that
+// carried it, it is shifted forward to the dispatch start. Returns the number
+// of spans imported (the trace-wide span cap still applies). Nil-safe.
+func (s *Span) Graft(base time.Time, spans []SpanJSON, lane string) int {
+	if s == nil || len(spans) == 0 {
+		return 0
+	}
+	t := s.tr
+
+	var shift time.Duration
+	min := spans[0].StartNs
+	for _, sj := range spans[1:] {
+		if sj.StartNs < min {
+			min = sj.StartNs
+		}
+	}
+	if earliest := base.Add(time.Duration(min)); earliest.Before(s.Start) {
+		shift = s.Start.Sub(earliest)
+	}
+
+	ids := make(map[string]bool, len(spans))
+	for _, sj := range spans {
+		ids[sj.ID] = true
+	}
+	// Graft prefixes draw from the same counter as local span IDs, so "g7."
+	// can never collide with a local "s7" or another graft's prefix.
+	prefix := "g" + strconv.FormatInt(t.nextID.Add(1), 10) + "."
+
+	grafted := 0
+	t.mu.Lock()
+	for _, sj := range spans {
+		if len(t.spans) >= maxSpansPerTrace {
+			t.dropped++
+			continue
+		}
+		start := base.Add(time.Duration(sj.StartNs) + shift)
+		gs := &Span{
+			tr:     t,
+			ID:     prefix + sj.ID,
+			Parent: s.ID,
+			Name:   sj.Name,
+			Start:  start,
+			end:    start.Add(time.Duration(sj.DurNs)),
+		}
+		if sj.Parent != "" && ids[sj.Parent] {
+			gs.Parent = prefix + sj.Parent
+		}
+		gs.attrs = make([]Attr, 0, len(sj.Attrs)+1)
+		for k, v := range sj.Attrs {
+			gs.attrs = append(gs.attrs, Attr{Key: k, Val: v})
+		}
+		gs.attrs = append(gs.attrs, Attr{Key: LaneAttr, Val: lane})
+		t.spans = append(t.spans, gs)
+		grafted++
+	}
+	t.mu.Unlock()
+	return grafted
+}

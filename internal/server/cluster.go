@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"time"
 
 	"smtflex/internal/cluster"
 	"smtflex/internal/config"
@@ -50,7 +51,17 @@ func (s *Server) handleCell(ctx context.Context, r *http.Request) (any, error) {
 	if err := decodeJSON(r, &req); err != nil {
 		return nil, err
 	}
-	return s.worker.Evaluate(ctx, req)
+	t0 := time.Now()
+	resp, err := s.worker.Evaluate(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	// The observability envelope is per-request, attached to this response
+	// copy at the HTTP layer — never to the cached value, so a content-store
+	// hit reports its own (near-zero) compute time and the live trace, not a
+	// stale one from the evaluation that populated the cache.
+	cluster.AttachTrace(ctx, &resp, time.Since(t0).Nanoseconds())
+	return resp, nil
 }
 
 // debugClusterResponse is the /debug/cluster body for non-coordinator roles

@@ -92,5 +92,8 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("GET /debug/timestack", s.handleTimestack)
 	mux.HandleFunc("GET /debug/machstats", s.handleMachStats)
+	mux.HandleFunc("GET /debug/fleet", s.handleFleet)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/flight/{sweep}", s.handleFlight)
 	return mux
 }

@@ -108,10 +108,24 @@ type sample struct {
 }
 
 // engineHist is a snapshot of one engine-level histogram for rendering.
+// Label variants of one metric (labels non-empty, e.g. per-worker dispatch
+// latency) must be adjacent in the slice; write emits the HELP/TYPE headers
+// once per name.
 type engineHist struct {
-	name string
-	help string
-	snap obs.HistogramSnapshot
+	name   string
+	help   string
+	labels string // rendered label set without the le pair, may be empty
+	snap   obs.HistogramSnapshot
+}
+
+// histLabels merges a histogram's own label set with the le bucket label.
+func histLabels(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`{le=%q}`, le)
+	}
+	// le leads so the merged set stays alphabetical for the label sets we
+	// emit (worker=...), keeping scrapes diffable across daemons.
+	return fmt.Sprintf(`{le=%q,%s`, le, labels[1:])
 }
 
 // write renders every metric in deterministic order.
@@ -178,14 +192,18 @@ func (m *metrics) write(w io.Writer, samples []sample, hists []engineHist) {
 		fmt.Fprintf(w, "smtflexd_request_duration_seconds_count{route=%q} %d\n", r, h.n)
 	}
 
+	prevHist := ""
 	for _, h := range hists {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
-		for i, bound := range h.snap.Bounds {
-			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.name, bound, h.snap.Cumulative[i])
+		if h.name != prevHist {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+			prevHist = h.name
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.snap.Count)
-		fmt.Fprintf(w, "%s_sum %g\n", h.name, h.snap.Sum)
-		fmt.Fprintf(w, "%s_count %d\n", h.name, h.snap.Count)
+		for i, bound := range h.snap.Bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, histLabels(h.labels, fmt.Sprintf("%g", bound)), h.snap.Cumulative[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, histLabels(h.labels, "+Inf"), h.snap.Count)
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.name, h.labels, h.snap.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, h.labels, h.snap.Count)
 	}
 
 	prev := ""

@@ -316,10 +316,38 @@ func TestMetricsPromtextLint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("metrics: code=%d", code)
 	}
+	typed, values := lintPromText(t, body)
 
+	// The series this PR introduces must be present, and the engine
+	// histograms must have real observations after a cold sweep.
+	for _, name := range []string{
+		"smtflexd_build_info", "smtflexd_solver_iterations", "smtflexd_pool_queue_seconds",
+		"smtflexd_memo_hits_total", "smtflexd_memo_misses_total", "smtflexd_memo_coalesced_total",
+		"smtflexd_coalesced_sweeps_total",
+	} {
+		if typed[name] == "" {
+			t.Errorf("metric %s missing from scrape", name)
+		}
+	}
+	if values["smtflexd_solver_iterations_count"] == 0 {
+		t.Error("solver iterations histogram empty after a cold sweep")
+	}
+	if values["smtflexd_pool_queue_seconds_count"] == 0 {
+		t.Error("pool queue histogram empty after a cold sweep")
+	}
+	if sum := values["smtflexd_solver_iterations_sum"]; sum <= 0 {
+		t.Errorf("solver iterations sum %g after a cold sweep", sum)
+	}
+}
+
+// lintPromText parses a /metrics exposition the way a strict Prometheus
+// ingester would, failing the test on any malformed line. It returns the
+// name -> type map and the name+labels -> value map for content assertions.
+func lintPromText(t *testing.T, body []byte) (typed map[string]string, values map[string]float64) {
+	t.Helper()
 	helped := map[string]bool{}
-	typed := map[string]string{}
-	values := map[string]float64{} // name+labels -> value
+	typed = map[string]string{}
+	values = map[string]float64{} // name+labels -> value
 	type bucket struct {
 		le  float64
 		val float64
@@ -411,27 +439,7 @@ func TestMetricsPromtextLint(t *testing.T) {
 			t.Fatalf("%s: le=+Inf bucket %g != count %g", key, inf, count)
 		}
 	}
-
-	// The series this PR introduces must be present, and the engine
-	// histograms must have real observations after a cold sweep.
-	for _, name := range []string{
-		"smtflexd_build_info", "smtflexd_solver_iterations", "smtflexd_pool_queue_seconds",
-		"smtflexd_memo_hits_total", "smtflexd_memo_misses_total", "smtflexd_memo_coalesced_total",
-		"smtflexd_coalesced_sweeps_total",
-	} {
-		if typed[name] == "" {
-			t.Errorf("metric %s missing from scrape", name)
-		}
-	}
-	if values["smtflexd_solver_iterations_count"] == 0 {
-		t.Error("solver iterations histogram empty after a cold sweep")
-	}
-	if values["smtflexd_pool_queue_seconds_count"] == 0 {
-		t.Error("pool queue histogram empty after a cold sweep")
-	}
-	if sum := values["smtflexd_solver_iterations_sum"]; sum <= 0 {
-		t.Errorf("solver iterations sum %g after a cold sweep", sum)
-	}
+	return typed, values
 }
 
 // parsePromSample splits one sample line into name, labels and value,

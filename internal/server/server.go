@@ -186,6 +186,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /debug/timestack", s.handleTimestack)
 	s.mux.HandleFunc("GET /debug/machstats", s.handleMachStats)
 	s.mux.HandleFunc("GET /debug/cluster", s.handleDebugCluster)
+	s.mux.HandleFunc("GET /debug/fleet", s.handleFleet)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	s.mux.HandleFunc("GET /debug/flight/{sweep}", s.handleFlight)
 	if s.worker != nil {
 		s.mux.Handle("POST "+cluster.CellPath, s.endpoint(cluster.CellPath, s.handleCell))
 	}
@@ -313,7 +316,16 @@ func (s *Server) endpoint(route string, fn handlerFunc) http.Handler {
 		rctx := obs.WithRequestID(r.Context(), rid)
 		// The root span covers the whole request; finish ends it after the
 		// response is serialized, completing the trace into the ring buffer.
-		tctx, root := obs.StartTrace(rctx, s.col, route)
+		// A coordinator's dispatch carries its trace identity in the
+		// propagation header; adopting it makes this worker's spans children
+		// of the coordinator's cluster.dispatch span once grafted home.
+		var tctx context.Context
+		var root *obs.Span
+		if tid, sid, ok := obs.ParseTraceparent(r.Header.Get(cluster.TraceparentHeader)); ok {
+			tctx, root = obs.StartRemoteTrace(rctx, s.col, route, tid, sid)
+		} else {
+			tctx, root = obs.StartTrace(rctx, s.col, route)
+		}
 
 		if s.draining.Load() {
 			// Refuse before admission: a draining daemon finishes what it
@@ -555,8 +567,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		)
 	}
 	hists := []engineHist{
-		{"smtflexd_solver_iterations", "Fixed-point iterations per contention solve.", s.solverIters.Snapshot()},
-		{"smtflexd_pool_queue_seconds", "Time evaluation tasks spend queued before a pool worker starts them.", s.poolQueue.Snapshot()},
+		{"smtflexd_solver_iterations", "Fixed-point iterations per contention solve.", "", s.solverIters.Snapshot()},
+		{"smtflexd_pool_queue_seconds", "Time evaluation tasks spend queued before a pool worker starts them.", "", s.poolQueue.Snapshot()},
+	}
+	if s.coord != nil {
+		// Per-worker dispatch latency and wire volume: the label variants of
+		// one metric stay adjacent so write emits each header once.
+		const wireHelp = "Bytes moved over the dispatch wire, by direction and worker."
+		for _, ds := range s.coord.DispatchStats() {
+			hists = append(hists, engineHist{"smtflexd_cluster_dispatch_seconds",
+				"Round-trip dispatch latency per worker, successful attempts only.",
+				fmt.Sprintf(`{worker=%q}`, ds.Worker), ds.Latency})
+			samples = append(samples,
+				sample{"smtflexd_cluster_wire_bytes_total", wireHelp, "counter",
+					fmt.Sprintf(`{dir="rx",worker=%q}`, ds.Worker), float64(ds.RxBytes)},
+				sample{"smtflexd_cluster_wire_bytes_total", wireHelp, "counter",
+					fmt.Sprintf(`{dir="tx",worker=%q}`, ds.Worker), float64(ds.TxBytes)})
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, samples, hists)
