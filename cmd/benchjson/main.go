@@ -98,14 +98,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		out = io.MultiWriter(stdout, f)
 	}
 	if len(regs) == 0 {
-		fmt.Fprintf(out, "benchjson: %d benchmark(s) vs %s: no regressions\n",
-			len(baseline.Results), *compare)
+		fmt.Fprintf(out, "benchjson: %d benchmark(s) vs %s: no regressions\n\n%s",
+			len(baseline.Results), *compare, benchjson.FormatComparison(baseline, cur, regs))
 		return 0
 	}
 	fmt.Fprintf(out, "benchjson: %d regression(s) vs %s:\n", len(regs), *compare)
 	for _, r := range regs {
 		fmt.Fprintf(out, "  %s\n", r)
 	}
+	fmt.Fprintf(out, "\n%s", benchjson.FormatComparison(baseline, cur, regs))
 	return 2
 }
 

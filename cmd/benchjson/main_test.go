@@ -82,6 +82,10 @@ func TestCompareSelfIsClean(t *testing.T) {
 	if !strings.Contains(out, "no regressions") {
 		t.Errorf("output = %q", out)
 	}
+	// The full delta table prints even on a clean run, with signed deltas.
+	if !strings.Contains(out, "BenchmarkStudySweep") || !strings.Contains(out, "+0.0%") {
+		t.Errorf("clean output missing the per-benchmark delta table:\n%s", out)
+	}
 }
 
 func TestCompareInjectedRegressionFails(t *testing.T) {
@@ -94,6 +98,11 @@ func TestCompareInjectedRegressionFails(t *testing.T) {
 	}
 	if !strings.Contains(out, "BenchmarkContentionSolve") || !strings.Contains(out, "allocs/op") {
 		t.Errorf("report does not name the regression:\n%s", out)
+	}
+	// The delta table follows the regression lines, with the signed jump and
+	// the over-threshold flags on the regressed row.
+	if !strings.Contains(out, "+900.0%") || !strings.Contains(out, "allocs/op OVER") {
+		t.Errorf("delta table missing signed deltas or flags:\n%s", out)
 	}
 	saved, err := os.ReadFile(report)
 	if err != nil {

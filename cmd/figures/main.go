@@ -30,6 +30,7 @@ import (
 	"smtflex/internal/core"
 	"smtflex/internal/machstats"
 	"smtflex/internal/obs"
+	"smtflex/internal/perfdiff"
 	"smtflex/internal/study"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the campaign here and print a time-stack report to stderr")
 	machPath := flag.String("machstats", "", "arm the machine-counter registry and write its snapshot to <path>.json, <path>.stacks.csv and <path>.counters.csv after the campaign")
+	perfsnapDir := flag.String("perfsnap", "", "arm tracing, machine counters and engine histograms, and write a perf snapshot (for perfdiff) into this directory after the campaign")
 	list := flag.Bool("list", false, "list available figure ids and exit")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
@@ -93,9 +95,17 @@ func main() {
 	// collected traces become one Chrome trace-event file and the aggregated
 	// time stack lands on stderr. Tracing never changes the tables.
 	var col *obs.Collector
-	if *tracePath != "" {
+	if *tracePath != "" || *perfsnapDir != "" {
 		obs.Enable()
 		col = obs.NewCollector(len(ids) + 1)
+	}
+
+	// With -perfsnap, every snapshot source is armed for the campaign and a
+	// perf snapshot (the `perfdiff` input) lands in the directory at exit.
+	// Arming never changes the tables.
+	var perfArm *perfdiff.CLIArm
+	if *perfsnapDir != "" {
+		perfArm = perfdiff.ArmCLI("figures", sim.Study(), col)
 	}
 
 	var ckpt *checkpoint.Manager
@@ -155,7 +165,7 @@ func main() {
 		writeCSV(*csvDir, id, tab)
 	}
 
-	if col != nil {
+	if col != nil && *tracePath != "" {
 		report, err := col.DumpFile(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
@@ -171,6 +181,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "figures: %s\nfigures: wrote %s\n", snap.FormatSummary(), strings.Join(paths, ", "))
+	}
+	if perfArm != nil {
+		path, err := perfArm.WriteDir(*perfsnapDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: perfsnap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote perf snapshot %s\n", path)
 	}
 }
 

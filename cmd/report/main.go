@@ -27,6 +27,7 @@ import (
 	"smtflex/internal/core"
 	"smtflex/internal/machstats"
 	"smtflex/internal/obs"
+	"smtflex/internal/perfdiff"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "persist completed figures to this file and resume from it on restart")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the campaign here and print a time-stack report to stderr")
 	machPath := flag.String("machstats", "", "arm the machine-counter registry and write its snapshot to <path>.json, <path>.stacks.csv and <path>.counters.csv after the campaign")
+	perfsnapDir := flag.String("perfsnap", "", "arm tracing, machine counters and engine histograms, and write a perf snapshot (for perfdiff) into this directory after the campaign")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 
@@ -57,9 +59,17 @@ func main() {
 	// spans; the collected traces become one Chrome trace-event file and the
 	// aggregated time stack lands on stderr.
 	var col *obs.Collector
-	if *tracePath != "" {
+	if *tracePath != "" || *perfsnapDir != "" {
 		obs.Enable()
 		col = obs.NewCollector(len(core.FigureIDs()) + 1)
+	}
+
+	// With -perfsnap, every snapshot source is armed for the campaign and a
+	// perf snapshot (the `perfdiff` input) lands in the directory at exit.
+	// Arming never changes the report.
+	var perfArm *perfdiff.CLIArm
+	if *perfsnapDir != "" {
+		perfArm = perfdiff.ArmCLI("report", sim.Study(), col)
 	}
 
 	var ckpt *checkpoint.Manager
@@ -144,7 +154,7 @@ func main() {
 		}
 	}
 
-	if col != nil {
+	if col != nil && *tracePath != "" {
 		report, err := col.DumpFile(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "report: %v\n", err)
@@ -160,5 +170,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "report: %s\nreport: wrote %s\n", snap.FormatSummary(), strings.Join(paths, ", "))
+	}
+	if perfArm != nil {
+		path, err := perfArm.WriteDir(*perfsnapDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: perfsnap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report: wrote perf snapshot %s\n", path)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"smtflex/internal/core"
 	"smtflex/internal/machstats"
 	"smtflex/internal/obs"
+	"smtflex/internal/perfdiff"
 	"smtflex/internal/validate"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	profUops := flag.Uint64("profile-uops", 200_000, "µops per profiling run for the interval engine")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) of the run here and print a time-stack report to stderr")
 	machPath := flag.String("machstats", "", "arm the machine-counter registry and write its snapshot to <path>.json, <path>.stacks.csv and <path>.counters.csv")
+	perfsnapDir := flag.String("perfsnap", "", "arm tracing, machine counters and engine histograms, and write a perf snapshot (for perfdiff) into this directory after the run")
 	xcheck := flag.Bool("xcheck", false, "cross-validate the interval engine against the cycle engine on this workload, print the component-by-component CPI-stack delta table, and exit 1 if any delta exceeds -xcheck-tol")
 	xcheckTol := flag.Float64("xcheck-tol", validate.DefaultTolerance, "cross-check tolerance: max |cycle-interval| per CPI-stack component, as a fraction of total CPI")
 	showVersion := flag.Bool("version", false, "print version information and exit")
@@ -71,9 +73,16 @@ func main() {
 	}
 
 	var col *obs.Collector
-	if *tracePath != "" {
+	if *tracePath != "" || *perfsnapDir != "" {
 		obs.Enable()
 		col = obs.NewCollector(1)
+	}
+	// With -perfsnap, every snapshot source is armed and a perf snapshot
+	// (the `perfdiff` input) lands in the directory after the run. Arming
+	// never changes the results.
+	var perfArm *perfdiff.CLIArm
+	if *perfsnapDir != "" {
+		perfArm = perfdiff.ArmCLI("smtsim", sim.Study(), col)
 	}
 	tctx, root := obs.StartTrace(context.Background(), col, "smtsim")
 
@@ -125,7 +134,7 @@ func main() {
 	}
 
 	root.End()
-	if col != nil {
+	if col != nil && *tracePath != "" {
 		report, err := col.DumpFile(*tracePath)
 		if err != nil {
 			fail(1, "%v", err)
@@ -133,6 +142,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smtsim: wrote trace to %s\n\n%s", *tracePath, report)
 	}
 	dumpMachStats(*machPath)
+	if perfArm != nil {
+		path, err := perfArm.WriteDir(*perfsnapDir)
+		if err != nil {
+			fail(1, "perfsnap: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "smtsim: wrote perf snapshot %s\n", path)
+	}
 }
 
 // dumpMachStats writes the armed registry's snapshot next to prefix and

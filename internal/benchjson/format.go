@@ -1,0 +1,107 @@
+package benchjson
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatComparison renders the full per-benchmark delta table for a compare
+// run: every matched benchmark with its baseline and current ns/op and
+// allocs/op and the signed percentage delta, worst wall-time movement first,
+// regressions flagged. Improvements show up with negative deltas — the
+// trajectory both ways, not just the gated direction. Benchmarks missing
+// from the current run and new in it are listed after the matched rows.
+func FormatComparison(baseline, current *Report, regs []Regression) string {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[key(r)] = r
+	}
+	base := make(map[string]bool, len(baseline.Results))
+
+	// regressed marks name+metric pairs the gate flagged.
+	regressed := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		regressed[r.Name+"\x00"+r.Metric] = true
+	}
+
+	type row struct {
+		name                 string
+		baseNs, curNs        float64
+		baseAllocs           float64
+		curAllocs            float64
+		hasAllocs            bool
+		nsDelta, allocsDelta float64 // relative; NaN-free (0 when baseline 0)
+		flags                []string
+	}
+	var rows []row
+	var missing, added []string
+	for _, b := range baseline.Results {
+		base[key(b)] = true
+		now, ok := cur[key(b)]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		r := row{name: b.Name, baseNs: b.NsPerOp, curNs: now.NsPerOp}
+		if b.NsPerOp > 0 {
+			r.nsDelta = (now.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		ba, bok := b.Metrics["allocs/op"]
+		na, nok := now.Metrics["allocs/op"]
+		if bok && nok {
+			r.hasAllocs = true
+			r.baseAllocs, r.curAllocs = ba, na
+			if ba > 0 {
+				r.allocsDelta = (na - ba) / ba
+			} else if na > 0 {
+				r.allocsDelta = 1
+			}
+		}
+		if regressed[b.Name+"\x00ns/op"] {
+			r.flags = append(r.flags, "ns/op OVER")
+		}
+		if regressed[b.Name+"\x00allocs/op"] {
+			r.flags = append(r.flags, "allocs/op OVER")
+		}
+		rows = append(rows, r)
+	}
+	for _, c := range current.Results {
+		if !base[key(c)] {
+			added = append(added, c.Name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].nsDelta != rows[j].nsDelta {
+			return rows[i].nsDelta > rows[j].nsDelta
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %12s %12s %8s %10s %10s %8s  %s\n",
+		"benchmark", "ns/op base", "ns/op cur", "delta", "allocs", "allocs cur", "delta", "flags")
+	for _, r := range rows {
+		allocsBase, allocsCur, allocsDelta := "-", "-", "-"
+		if r.hasAllocs {
+			allocsBase = fmt.Sprintf("%.6g", r.baseAllocs)
+			allocsCur = fmt.Sprintf("%.6g", r.curAllocs)
+			allocsDelta = signedPct(r.allocsDelta)
+		}
+		fmt.Fprintf(&sb, "%-44s %12.6g %12.6g %8s %10s %10s %8s  %s\n",
+			r.name, r.baseNs, r.curNs, signedPct(r.nsDelta),
+			allocsBase, allocsCur, allocsDelta, strings.Join(r.flags, ", "))
+	}
+	for _, name := range missing {
+		fmt.Fprintf(&sb, "%-44s missing from current run\n", name)
+	}
+	for _, name := range added {
+		fmt.Fprintf(&sb, "%-44s new in current run (not gated)\n", name)
+	}
+	return sb.String()
+}
+
+// signedPct renders a relative delta as an explicitly signed percentage.
+func signedPct(rel float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*rel)
+}

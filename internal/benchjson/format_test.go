@@ -1,0 +1,60 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatComparisonSignedDeltas(t *testing.T) {
+	base := report(bench("BenchmarkFast", 1e6, 100), bench("BenchmarkSlow", 2e6, 0))
+	cur := report(bench("BenchmarkFast", 1.5e6, 100), bench("BenchmarkSlow", 1e6, 0))
+	out := FormatComparison(base, cur, nil)
+	// Regressions and improvements both carry explicit signs.
+	if !strings.Contains(out, "+50.0%") {
+		t.Errorf("missing signed regression delta:\n%s", out)
+	}
+	if !strings.Contains(out, "-50.0%") {
+		t.Errorf("missing signed improvement delta:\n%s", out)
+	}
+	// Worst wall-time movement sorts first.
+	fast := strings.Index(out, "BenchmarkFast")
+	slow := strings.Index(out, "BenchmarkSlow")
+	if fast < 0 || slow < 0 || fast > slow {
+		t.Errorf("rows not severity-sorted (fast@%d slow@%d):\n%s", fast, slow, out)
+	}
+}
+
+func TestFormatComparisonFlagsRegressions(t *testing.T) {
+	th := Thresholds{Default: Limit{NsPerOpPct: 10, AllocsPerOpPct: 10}, MinNsPerOp: 1000}
+	base := report(bench("BenchmarkA", 1e6, 100))
+	cur := report(bench("BenchmarkA", 2e6, 150))
+	regs, err := Compare(base, cur, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparison(base, cur, regs)
+	if !strings.Contains(out, "ns/op OVER") || !strings.Contains(out, "allocs/op OVER") {
+		t.Errorf("flags missing:\n%s", out)
+	}
+}
+
+func TestFormatComparisonMissingAndNew(t *testing.T) {
+	base := report(bench("BenchmarkGone", 1e6, 0), bench("BenchmarkKept", 1e6, 0))
+	cur := report(bench("BenchmarkKept", 1e6, 0), bench("BenchmarkNew", 1e6, 0))
+	out := FormatComparison(base, cur, nil)
+	if !strings.Contains(out, "BenchmarkGone") || !strings.Contains(out, "missing from current run") {
+		t.Errorf("missing row absent:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkNew") || !strings.Contains(out, "new in current run") {
+		t.Errorf("new row absent:\n%s", out)
+	}
+}
+
+func TestFormatComparisonNoAllocsMetric(t *testing.T) {
+	noAllocs := Result{Name: "BenchmarkBare", Package: "smtflex", Procs: 8, Iterations: 1, NsPerOp: 1e6}
+	base := &Report{Results: []Result{noAllocs}}
+	out := FormatComparison(base, base, nil)
+	if !strings.Contains(out, "BenchmarkBare") || !strings.Contains(out, "-") {
+		t.Errorf("alloc-less benchmark not rendered:\n%s", out)
+	}
+}

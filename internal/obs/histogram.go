@@ -74,5 +74,44 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the p-quantile (p in [0,1]) of the observations by
+// linear interpolation within the bucket that holds the target rank — the
+// same estimator as PromQL's histogram_quantile. Buckets report only counts,
+// so the estimate is exact at bucket boundaries and linear in between; ranks
+// that land in the implicit +Inf bucket clamp to the largest finite bound
+// (there is nothing to interpolate toward). An empty snapshot reports 0, and
+// a snapshot with no bounds reports the mean — both JSON-safe, never NaN.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	if len(s.Bounds) == 0 {
+		return s.Sum / float64(s.Count)
+	}
+	rank := p * float64(s.Count)
+	var prev int64
+	lower := 0.0
+	for i, b := range s.Bounds {
+		cum := s.Cumulative[i]
+		if cum > prev && float64(cum) >= rank {
+			frac := (rank - float64(prev)) / float64(cum-prev)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + frac*(b-lower)
+		}
+		prev = cum
+		lower = b
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
 func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

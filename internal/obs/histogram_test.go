@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := s.Quantile(p); q != 0 {
+			t.Errorf("empty snapshot Quantile(%g) = %g, want 0", p, q)
+		}
+	}
+	// A constructed-but-unobserved histogram is also empty.
+	h := NewHistogram([]float64{1, 2, 4})
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("unobserved histogram Quantile(0.5) = %g, want 0", q)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	// All mass in [0,10]: the median interpolates to the bucket midpoint.
+	if q := s.Quantile(0.5); q != 5 {
+		t.Errorf("Quantile(0.5) = %g, want 5", q)
+	}
+	if q := s.Quantile(1); q != 10 {
+		t.Errorf("Quantile(1) = %g, want 10", q)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Errorf("Quantile(0) = %g, want 0", q)
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 2 observations in (1,2], 6 in (2,4].
+	h.Observe(1.5)
+	h.Observe(1.5)
+	for i := 0; i < 6; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	// rank(0.5) = 4 → 2 of the 6 in (2,4]: 2 + (4-2)*(2/6).
+	want := 2 + 2*(2.0/6.0)
+	if q := s.Quantile(0.5); math.Abs(q-want) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %g, want %g", q, want)
+	}
+	// rank(0.25) = 2 → exactly the upper bound of the (1,2] bucket.
+	if q := s.Quantile(0.25); q != 2 {
+		t.Errorf("Quantile(0.25) = %g, want 2", q)
+	}
+	// p=0 lands at the lower edge of the first non-empty bucket.
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %g, want 1", q)
+	}
+	// Out-of-range p clamps.
+	if q := s.Quantile(1.5); q != s.Quantile(1) {
+		t.Errorf("Quantile(1.5) = %g, want %g", q, s.Quantile(1))
+	}
+	if q := s.Quantile(-1); q != s.Quantile(0) {
+		t.Errorf("Quantile(-1) = %g, want %g", q, s.Quantile(0))
+	}
+}
+
+func TestQuantileInfBucketClampsToLastBound(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100) // lands only in the implicit +Inf bucket
+	h.Observe(100)
+	s := h.Snapshot()
+	if q := s.Quantile(0.99); q != 2 {
+		t.Errorf("Quantile(0.99) = %g, want clamp to 2", q)
+	}
+}
+
+func TestQuantileNoBoundsReportsMean(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(4)
+	h.Observe(8)
+	if q := h.Snapshot().Quantile(0.5); q != 6 {
+		t.Errorf("Quantile(0.5) = %g, want mean 6", q)
+	}
+}
+
+// TestQuantileConcurrentWrites hammers one histogram from many goroutines
+// and checks the quantiles computed from a snapshot taken afterwards are
+// consistent with the observations — the atomic bucket counters must not
+// lose or misfile anything.
+func TestQuantileConcurrentWrites(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16})
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(1 + (i+w)%4)) // values 1..4
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Fatalf("count %d, want %d", s.Count, workers*perW)
+	}
+	q50, q99 := s.Quantile(0.5), s.Quantile(0.99)
+	if q50 < 1 || q50 > 4 {
+		t.Errorf("Quantile(0.5) = %g outside observed range [1,4]", q50)
+	}
+	if q99 < q50 || q99 > 4 {
+		t.Errorf("Quantile(0.99) = %g, want in [%g,4]", q99, q50)
+	}
+}

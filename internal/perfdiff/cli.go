@@ -1,0 +1,61 @@
+package perfdiff
+
+import (
+	"smtflex/internal/machstats"
+	"smtflex/internal/memo"
+	"smtflex/internal/obs"
+)
+
+// Engine is the slice of the experiment engine the CLI capture path needs:
+// a place to hang the engine histograms and the cache counters to embed.
+// *study.Study satisfies it.
+type Engine interface {
+	SetEngineHistograms(solverIters, poolQueue *obs.Histogram)
+	CacheCounters() []memo.Counters
+}
+
+// CLIArm holds every snapshot source armed for a command-line run. Arm once
+// before the campaign, WriteDir once after it; the armed sources never
+// change the engine's output (pinned by TestSweepBitIdenticalWithPerfsnap).
+type CLIArm struct {
+	role        string
+	eng         Engine
+	col         *obs.Collector
+	solverIters *obs.Histogram
+	poolQueue   *obs.Histogram
+}
+
+// ArmCLI enables tracing and machine counters and registers the engine
+// histograms, sharing col with the command's own tracing when it already has
+// a collector (a span reports to one collector, and the snapshot should see
+// the same traces the -trace file gets).
+func ArmCLI(role string, eng Engine, col *obs.Collector) *CLIArm {
+	obs.Enable()
+	machstats.Enable()
+	a := &CLIArm{
+		role:        role,
+		eng:         eng,
+		col:         col,
+		solverIters: obs.NewHistogram(SolverIterBuckets),
+		poolQueue:   obs.NewHistogram(QueueSecondsBuckets),
+	}
+	eng.SetEngineHistograms(a.solverIters, a.poolQueue)
+	return a
+}
+
+// WriteDir captures the armed sources into a timestamped snapshot file under
+// dir and returns its path.
+func (a *CLIArm) WriteDir(dir string) (string, error) {
+	mach := machstats.Default().Snapshot()
+	snap := Capture(CaptureOpts{
+		Role:   a.role,
+		Traces: a.col.Snapshots(),
+		Mach:   &mach,
+		Histograms: []HistogramState{
+			HistState(HistSolverIterations, a.solverIters.Snapshot()),
+			HistState(HistPoolQueueSeconds, a.poolQueue.Snapshot()),
+		},
+		Caches: a.eng.CacheCounters(),
+	})
+	return snap.WriteDir(dir, a.role)
+}

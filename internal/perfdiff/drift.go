@@ -1,0 +1,95 @@
+package perfdiff
+
+import (
+	"fmt"
+	"strings"
+
+	"smtflex/internal/obs"
+)
+
+// DriftTolerance configures the snap-on-drift watcher. Like Thresholds, a
+// quantile only drifts when it crosses the relative gate *and* the absolute
+// floor, so microsecond queue jitter on an idle daemon never trips it.
+type DriftTolerance struct {
+	// RelPct is the allowed relative increase in percent (50 = 1.5x).
+	RelPct float64
+	// AbsMin is the absolute increase floor, in the histogram's own unit.
+	AbsMin float64
+	// Quantiles lists the probed quantiles. Empty means p50/p95/p99.
+	Quantiles []float64
+}
+
+// DefaultDriftTolerance trips on a sustained ~1.5x shift in any watched
+// quantile — loose enough to ignore warmup, tight enough that a solver
+// suddenly iterating twice as long gets its snapshot captured.
+func DefaultDriftTolerance() DriftTolerance {
+	return DriftTolerance{RelPct: 50, AbsMin: 1e-3, Quantiles: []float64{0.5, 0.95, 0.99}}
+}
+
+// Drift is one quantile past tolerance.
+type Drift struct {
+	Histogram string  `json:"histogram"`
+	Quantile  float64 `json:"quantile"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+}
+
+// String renders the drift as one log line.
+func (d Drift) String() string {
+	return fmt.Sprintf("%s p%g: %.6g -> %.6g", d.Histogram, d.Quantile*100, d.Baseline, d.Current)
+}
+
+// DriftWatcher compares live histogram state against a baseline snapshot's.
+// It is stateless between checks: the daemon's watch loop decides what to do
+// when Check reports drift (capture a snapshot, bump a counter).
+type DriftWatcher struct {
+	base map[string]obs.HistogramSnapshot
+	tol  DriftTolerance
+}
+
+// NewDriftWatcher watches the histograms captured in base. A baseline with
+// no histogram state yields a watcher that never fires.
+func NewDriftWatcher(base *Snapshot, tol DriftTolerance) *DriftWatcher {
+	if len(tol.Quantiles) == 0 {
+		tol.Quantiles = []float64{0.5, 0.95, 0.99}
+	}
+	w := &DriftWatcher{base: make(map[string]obs.HistogramSnapshot), tol: tol}
+	if base != nil {
+		for _, h := range base.Histograms {
+			if h.Count > 0 {
+				w.base[h.Name] = h.Snapshot()
+			}
+		}
+	}
+	return w
+}
+
+// Check compares the current histogram state against the baseline and
+// returns every quantile past tolerance. Histograms absent from the baseline
+// (or empty on either side) are ignored.
+func (w *DriftWatcher) Check(cur []HistogramState) []Drift {
+	var out []Drift
+	for _, h := range cur {
+		base, ok := w.base[h.Name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		cs := h.Snapshot()
+		for _, p := range w.tol.Quantiles {
+			bq, cq := base.Quantile(p), cs.Quantile(p)
+			if cq-bq >= w.tol.AbsMin && cq > bq*(1+w.tol.RelPct/100) {
+				out = append(out, Drift{Histogram: h.Name, Quantile: p, Baseline: bq, Current: cq})
+			}
+		}
+	}
+	return out
+}
+
+// FormatDrifts renders drifts as a one-line summary for logs.
+func FormatDrifts(ds []Drift) string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "; ")
+}

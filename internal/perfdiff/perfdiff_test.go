@@ -1,0 +1,523 @@
+package perfdiff_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smtflex/internal/benchjson"
+	"smtflex/internal/config"
+	"smtflex/internal/contention"
+	"smtflex/internal/faults"
+	"smtflex/internal/machstats"
+	"smtflex/internal/obs"
+	"smtflex/internal/perfdiff"
+	"smtflex/internal/profiler"
+	"smtflex/internal/workload"
+)
+
+// shared profiling source: measuring profiles is the expensive part, so the
+// engine-backed tests in this package reuse one cache.
+var (
+	srcOnce sync.Once
+	src     *profiler.Source
+)
+
+func source() *profiler.Source {
+	srcOnce.Do(func() { src = profiler.NewSource(60_000) })
+	return src
+}
+
+// place builds a placement of the given benchmarks round-robin over the
+// design's cores.
+func place(t *testing.T, designName string, benches ...string) contention.Placement {
+	t.Helper()
+	d, err := config.DesignByName(designName, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := contention.Placement{Design: d}
+	for i, b := range benches {
+		c := i % d.NumCores()
+		spec, err := workload.ByName(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := source().Profile(spec, d.Cores[c].Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.CoreOf = append(p.CoreOf, c)
+		p.Profiles = append(p.Profiles, prof)
+	}
+	return p
+}
+
+// solveSnapshot runs solves traced solves of pl under one root trace and
+// captures a perf snapshot from the collected state: the same pipeline a
+// live daemon's /debug/perfsnap walks, minus HTTP.
+func solveSnapshot(t *testing.T, pl contention.Placement, solves int) *perfdiff.Snapshot {
+	t.Helper()
+	col := obs.NewCollector(4)
+	iters := obs.NewHistogram(perfdiff.SolverIterBuckets)
+	ctx, root := obs.StartTrace(context.Background(), col, "bench.solve")
+	s := contention.NewSolver()
+	for i := 0; i < solves; i++ {
+		res, err := s.SolveModelCtx(ctx, pl, contention.Model{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iters.Observe(float64(res.Diag.Iterations))
+	}
+	root.End()
+	mach := machstats.Default().Snapshot()
+	return perfdiff.Capture(perfdiff.CaptureOpts{
+		Role:   "test",
+		Traces: col.Snapshots(),
+		Mach:   &mach,
+		Histograms: []perfdiff.HistogramState{
+			perfdiff.HistState(perfdiff.HistSolverIterations, iters.Snapshot()),
+		},
+	})
+}
+
+// TestDiffSelfClean is the self-cleanliness acceptance criterion: two
+// snapshots of the same build doing the same work must report no deltas over
+// the default noise floor — the analog of TestCommittedBaselineIsSelfClean
+// for the bench gate.
+func TestDiffSelfClean(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	machstats.Enable()
+	defer machstats.Disable()
+	pl := place(t, "4B", "tonto", "gcc", "mcf", "hmmer", "soplex", "bzip2")
+
+	machstats.Reset()
+	base := solveSnapshot(t, pl, 100)
+	machstats.Reset()
+	cur := solveSnapshot(t, pl, 100)
+	machstats.Reset()
+
+	rep, err := perfdiff.Diff(base, cur, perfdiff.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exceeded != 0 {
+		t.Fatalf("same-build diff not self-clean: %d exceeded\n%s", rep.Exceeded, rep.RenderText())
+	}
+	if len(rep.Deltas) == 0 {
+		t.Fatal("diff of two captured snapshots reported no deltas at all (capture broken?)")
+	}
+	// The identical solver work must make identical histograms, bit for bit.
+	for _, d := range rep.Deltas {
+		if d.Kind == "quantile" && d.Baseline != d.Current {
+			t.Errorf("quantile %s/%s differs on identical work: %g vs %g", d.Group, d.Metric, d.Baseline, d.Current)
+		}
+	}
+}
+
+// TestDiffRanksInjectedSolveRegression is the attribution acceptance
+// criterion: slow the solver synthetically (faults latency at every solver
+// iteration) and the diff must rank contention.solve as the top regression.
+func TestDiffRanksInjectedSolveRegression(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	pl := place(t, "4B", "tonto", "gcc", "mcf", "hmmer")
+
+	base := solveSnapshot(t, pl, 10)
+
+	faults.Enable(faults.SiteSolver, faults.Injection{Mode: faults.ModeLatency, Latency: 50 * time.Microsecond})
+	defer faults.Reset()
+	cur := solveSnapshot(t, pl, 10)
+	faults.Reset()
+
+	rep, err := perfdiff.Diff(base, cur, perfdiff.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exceeded == 0 {
+		t.Fatalf("injected solver latency not detected\n%s", rep.RenderText())
+	}
+	top := rep.Deltas[0]
+	if top.Kind != "phase" || top.Metric != obs.CatSolve || !top.Exceeds {
+		t.Fatalf("top delta is %s/%s/%s (exceeds=%v), want phase/%s regression\n%s",
+			top.Kind, top.Group, top.Metric, top.Exceeds, obs.CatSolve, rep.RenderText())
+	}
+	// The injection slows wall time but must not change solver arithmetic:
+	// iteration-count quantiles stay bit-identical, proving the report
+	// attributes the slowdown to time, not to behavior.
+	for _, d := range rep.Deltas {
+		if d.Kind == "quantile" && d.Exceeds {
+			t.Errorf("iteration quantile flagged under pure latency injection: %+v", d)
+		}
+	}
+}
+
+// TestSnapshotSchemaLocked locks the JSON field names of every snapshot
+// section: renaming a field breaks every archived baseline, so it must break
+// this test first.
+func TestSnapshotSchemaLocked(t *testing.T) {
+	snap := &perfdiff.Snapshot{
+		SchemaVersion: perfdiff.SchemaVersion,
+		CapturedAt:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		Build:         perfdiff.Build{GoVersion: "go", Revision: "r", Module: "m", Version: "v"},
+		Role:          "test",
+		TimeStacks: []obs.TimeStack{{
+			Name: "g", Traces: 1, WallNs: 10,
+			ByNs: map[string]int64{"solve": 10}, Percent: map[string]float64{"solve": 100},
+		}},
+		MachStats: &machstats.Snapshot{
+			Counters: []machstats.CounterSample{{Name: "c", Value: 1}},
+			Cycles:   []machstats.CycleSample{{Name: "y", Cycles: 2}},
+			Stacks: []machstats.StackRecord{{
+				Engine: "interval", Design: "4B", Benchmark: "gcc",
+				Components: []machstats.Component{{Name: "base", CPI: 1}},
+			}},
+		},
+		Histograms: []perfdiff.HistogramState{{Name: "h", Bounds: []float64{1}, Cumulative: []int64{1}, Count: 1, Sum: 1}},
+		Caches:     []perfdiff.CacheCounter{{Name: "p", Hits: 1, Misses: 2, Coalesced: 3, Entries: 4}},
+		Bench:      &benchjson.Report{Results: []benchjson.Result{{Name: "B", Procs: 1, Iterations: 1, NsPerOp: 2}}},
+		Profiles:   []perfdiff.Profile{{Kind: "cpu", CapturedAt: time.Date(2026, 1, 2, 3, 4, 6, 0, time.UTC), DurMs: 100, Data: []byte{1}}},
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []string{
+		"schema_version", "captured_at", "build", "role", "time_stacks",
+		"machstats", "histograms", "caches", "bench", "profiles",
+	}
+	for _, k := range wantKeys {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("snapshot JSON missing locked key %q", k)
+		}
+	}
+	if len(doc) != len(wantKeys) {
+		t.Errorf("snapshot JSON has %d top-level keys, schema locks %d: %s", len(doc), len(wantKeys), data)
+	}
+	for section, keys := range map[string][]string{
+		"build":      {"go_version", "revision", "module", "version"},
+		"histograms": {"name", "bounds", "cumulative", "count", "sum"},
+		"caches":     {"name", "hits", "misses", "coalesced", "entries"},
+		"profiles":   {"kind", "captured_at", "dur_ms", "data"},
+	} {
+		var raw any
+		if err := json.Unmarshal(doc[section], &raw); err != nil {
+			t.Fatalf("%s: %v", section, err)
+		}
+		obj, ok := raw.(map[string]any)
+		if !ok {
+			obj = raw.([]any)[0].(map[string]any)
+		}
+		for _, k := range keys {
+			if _, present := obj[k]; !present {
+				t.Errorf("%s JSON missing locked key %q", section, k)
+			}
+		}
+		if len(obj) != len(keys) {
+			t.Errorf("%s JSON has %d keys, schema locks %d", section, len(obj), len(keys))
+		}
+	}
+
+	// And the document round-trips losslessly.
+	back := &perfdiff.Snapshot{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot does not round-trip:\n%+v\nvs\n%+v", snap, back)
+	}
+}
+
+func TestSnapshotWriteReadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	snap := perfdiff.Capture(perfdiff.CaptureOpts{Role: "test"})
+	path := filepath.Join(dir, "snap.json")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := perfdiff.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Role != "test" || back.SchemaVersion != perfdiff.SchemaVersion {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	// Atomic write leaves no temp droppings.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	// WriteDir stamps the filename.
+	p2, err := snap.WriteDir(dir, "perfsnap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(filepath.Base(p2), "perfsnap-") || !strings.HasSuffix(p2, ".json") {
+		t.Errorf("WriteDir name %q", p2)
+	}
+}
+
+func TestValidateRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perfdiff.ReadFile(path); err == nil {
+		t.Fatal("schema version 99 accepted")
+	}
+	wrong := &perfdiff.Snapshot{SchemaVersion: 2}
+	if _, err := perfdiff.Diff(wrong, wrong, perfdiff.DefaultThresholds()); err == nil {
+		t.Fatal("Diff accepted mismatched schema version")
+	}
+}
+
+func TestReadAutoWrapsBenchReport(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "bench.json")
+	raw := `{"results":[{"name":"BenchmarkX","procs":1,"iterations":10,"ns_per_op":100,"metrics":{"allocs/op":5}}]}`
+	if err := os.WriteFile(bench, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := perfdiff.ReadAuto(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bench == nil || len(s.Bench.Results) != 1 || s.Bench.Results[0].Name != "BenchmarkX" {
+		t.Fatalf("benchjson not wrapped: %+v", s)
+	}
+	// A real snapshot reads through the same entry point.
+	snapPath := filepath.Join(dir, "snap.json")
+	if err := perfdiff.Capture(perfdiff.CaptureOpts{Role: "x"}).WriteFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if s, err = perfdiff.ReadAuto(snapPath); err != nil || s.Role != "x" {
+		t.Fatalf("snapshot through ReadAuto: %v %+v", err, s)
+	}
+	// Garbage is neither.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"hello": 1}`), 0o644)
+	if _, err := perfdiff.ReadAuto(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDiffBenchEmbedded(t *testing.T) {
+	mkSnap := func(ns, allocs float64) *perfdiff.Snapshot {
+		return perfdiff.Capture(perfdiff.CaptureOpts{Bench: &benchjson.Report{Results: []benchjson.Result{{
+			Name: "BenchmarkSolve", Procs: 1, Iterations: 10, NsPerOp: ns,
+			Metrics: map[string]float64{"allocs/op": allocs},
+		}}}})
+	}
+	rep, err := perfdiff.Diff(mkSnap(10_000, 0), mkSnap(100_000, 500), perfdiff.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exceeded == 0 {
+		t.Fatalf("10x ns/op + 500 allocs not flagged\n%s", rep.RenderText())
+	}
+	var kinds []string
+	for _, d := range rep.Deltas {
+		if d.Exceeds {
+			kinds = append(kinds, d.Kind+"/"+d.Metric)
+		}
+	}
+	want := map[string]bool{"bench/ns/op": false, "bench/allocs/op": false}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	for k, hit := range want {
+		if !hit {
+			t.Errorf("expected exceeding delta %s, got %v", k, kinds)
+		}
+	}
+}
+
+func TestDiffQuantileShift(t *testing.T) {
+	mk := func(vals ...float64) perfdiff.HistogramState {
+		h := obs.NewHistogram(perfdiff.SolverIterBuckets)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return perfdiff.HistState(perfdiff.HistSolverIterations, h.Snapshot())
+	}
+	base := perfdiff.Capture(perfdiff.CaptureOpts{Histograms: []perfdiff.HistogramState{mk(3, 3, 3, 3)}})
+	cur := perfdiff.Capture(perfdiff.CaptureOpts{Histograms: []perfdiff.HistogramState{mk(120, 120, 120, 120)}})
+	rep, err := perfdiff.Diff(base, cur, perfdiff.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exceeded == 0 {
+		t.Fatalf("40x iteration shift not flagged\n%s", rep.RenderText())
+	}
+	if top := rep.Deltas[0]; top.Kind != "quantile" || top.Group != perfdiff.HistSolverIterations {
+		t.Errorf("top delta %+v, want quantile shift", top)
+	}
+	// Identical histograms stay clean.
+	rep, err = perfdiff.Diff(base, base, perfdiff.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exceeded != 0 {
+		t.Errorf("identical histograms flagged\n%s", rep.RenderText())
+	}
+}
+
+func TestDiffCPIShift(t *testing.T) {
+	mk := func(memCPI float64) *perfdiff.Snapshot {
+		return perfdiff.Capture(perfdiff.CaptureOpts{Mach: &machstats.Snapshot{Stacks: []machstats.StackRecord{{
+			Engine: "interval", Design: "4B", Benchmark: "gcc",
+			Components: []machstats.Component{{Name: "base", CPI: 0.5}, {Name: "mem", CPI: memCPI}},
+		}}}})
+	}
+	rep, err := perfdiff.Diff(mk(0.2), mk(0.9), perfdiff.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged *perfdiff.Delta
+	for i := range rep.Deltas {
+		if rep.Deltas[i].Exceeds {
+			flagged = &rep.Deltas[i]
+		}
+	}
+	if flagged == nil || flagged.Kind != "cpi" || flagged.Metric != "mem" || flagged.Group != "interval" {
+		t.Fatalf("mem CPI 0.2->0.9 not attributed: %+v\n%s", flagged, rep.RenderText())
+	}
+	// base stayed put and must not be flagged.
+	for _, d := range rep.Deltas {
+		if d.Metric == "base" && d.Exceeds {
+			t.Errorf("unchanged base component flagged: %+v", d)
+		}
+	}
+}
+
+func TestDriftWatcher(t *testing.T) {
+	mk := func(vals ...float64) []perfdiff.HistogramState {
+		h := obs.NewHistogram(perfdiff.SolverIterBuckets)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return []perfdiff.HistogramState{perfdiff.HistState(perfdiff.HistSolverIterations, h.Snapshot())}
+	}
+	base := perfdiff.Capture(perfdiff.CaptureOpts{Histograms: mk(3, 3, 3, 3)})
+	w := perfdiff.NewDriftWatcher(base, perfdiff.DefaultDriftTolerance())
+	if ds := w.Check(mk(3, 3, 3, 3)); len(ds) != 0 {
+		t.Errorf("identical state drifted: %v", ds)
+	}
+	ds := w.Check(mk(120, 120, 120, 120))
+	if len(ds) == 0 {
+		t.Fatal("40x shift not detected")
+	}
+	if ds[0].Histogram != perfdiff.HistSolverIterations {
+		t.Errorf("drift %+v", ds[0])
+	}
+	// Histograms absent from the baseline never fire.
+	w2 := perfdiff.NewDriftWatcher(perfdiff.Capture(perfdiff.CaptureOpts{}), perfdiff.DefaultDriftTolerance())
+	if ds := w2.Check(mk(120)); len(ds) != 0 {
+		t.Errorf("baseline-free watcher fired: %v", ds)
+	}
+}
+
+func TestProfRing(t *testing.T) {
+	r := perfdiff.NewProfRing(2)
+	if r.Armed() {
+		t.Fatal("fresh ring armed")
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.CaptureOnce(5 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := r.Snapshot()
+	if len(ps) != 2 {
+		t.Fatalf("ring holds %d profiles, want 2 (cap)", len(ps))
+	}
+	for _, p := range ps {
+		if p.Kind != "cpu" || len(p.Data) == 0 {
+			t.Errorf("bad profile %q with %d bytes", p.Kind, len(p.Data))
+		}
+	}
+	if !ps[0].CapturedAt.Before(ps[1].CapturedAt) && !ps[0].CapturedAt.Equal(ps[1].CapturedAt) {
+		t.Errorf("ring not oldest-first: %v then %v", ps[0].CapturedAt, ps[1].CapturedAt)
+	}
+	caps, skipped := r.Counts()
+	if caps != 3 || skipped != 0 {
+		t.Errorf("counts %d/%d, want 3/0", caps, skipped)
+	}
+
+	// Run arms the ring for its lifetime and stops cleanly on cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); r.Run(ctx, 5*time.Millisecond, 2*time.Millisecond) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for !r.Armed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !r.Armed() {
+		t.Fatal("Run never armed the ring")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+	if r.Armed() {
+		t.Fatal("ring still armed after Run returned")
+	}
+}
+
+// TestProfRingDisarmedZeroAllocsOnSolverHotPath is the overhead acceptance
+// criterion: with the profiling ring constructed but disarmed (the
+// -prof-interval=0 default), the sweep hot path — a reused contention solver
+// at steady state — must allocate nothing. The ring is fully decoupled from
+// the engine; this guard keeps it that way.
+func TestProfRingDisarmedZeroAllocsOnSolverHotPath(t *testing.T) {
+	machstats.Disable()
+	obs.Disable()
+	ring := perfdiff.NewProfRing(0)
+	pl := place(t, "4B", "tonto", "gcc", "mcf", "hmmer", "soplex", "bzip2")
+	s := contention.NewSolver()
+	m := contention.DefaultModel()
+	if _, err := s.SolveModel(pl, m); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if ring.Armed() { // the daemon's one-atomic-load disabled check
+			t.Fatal("ring unexpectedly armed")
+		}
+		if _, err := s.SolveModel(pl, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("solver hot path with disarmed ring allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestCaptureHeapProfile sanity-checks the heap capture used by ?pprof=1.
+func TestCaptureHeapProfile(t *testing.T) {
+	p, err := perfdiff.CaptureHeapProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "heap" || len(p.Data) == 0 {
+		t.Errorf("heap profile %q with %d bytes", p.Kind, len(p.Data))
+	}
+}

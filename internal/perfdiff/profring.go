@@ -1,0 +1,119 @@
+package perfdiff
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultProfRingCap bounds the continuous-profiling ring: enough history to
+// bracket a drift event, small enough that a long-running daemon's memory
+// stays flat (a 1s CPU profile of this workload is tens of KB).
+const DefaultProfRingCap = 8
+
+// ProfRing is a bounded ring of periodic CPU profile captures — smtflexd's
+// continuous profiler. Disarmed (the default) it is completely inert: no
+// goroutine, no timer, and nothing on any engine path references it, so the
+// sweep hot path cannot pay for it (the zero-alloc guard in
+// internal/study asserts exactly that). Armed, a single goroutine wakes per
+// interval, captures a short profile, and stores it; the engine still never
+// sees the ring — CPU profiling overhead is the only cost.
+type ProfRing struct {
+	mu       sync.Mutex
+	profiles []Profile
+	next     int
+	filled   bool
+
+	armed    atomic.Bool
+	captures atomic.Int64
+	skipped  atomic.Int64
+}
+
+// NewProfRing returns a ring holding the most recent ringCap profiles
+// (DefaultProfRingCap when ringCap <= 0).
+func NewProfRing(ringCap int) *ProfRing {
+	if ringCap <= 0 {
+		ringCap = DefaultProfRingCap
+	}
+	return &ProfRing{profiles: make([]Profile, ringCap)}
+}
+
+// Armed reports whether the capture loop is running.
+func (r *ProfRing) Armed() bool { return r != nil && r.armed.Load() }
+
+// Counts reports successful and skipped captures (a capture is skipped when
+// another CPU profile — an on-demand ?pprof=1 snapshot, say — already holds
+// the process-wide profiler).
+func (r *ProfRing) Counts() (captures, skipped int64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.captures.Load(), r.skipped.Load()
+}
+
+// CaptureOnce captures one CPU profile of the given duration into the ring.
+func (r *ProfRing) CaptureOnce(dur time.Duration) error {
+	p, err := CaptureCPUProfile(dur)
+	if err != nil {
+		r.skipped.Add(1)
+		return err
+	}
+	r.mu.Lock()
+	r.profiles[r.next] = p
+	r.next++
+	if r.next == len(r.profiles) {
+		r.next, r.filled = 0, true
+	}
+	r.mu.Unlock()
+	r.captures.Add(1)
+	return nil
+}
+
+// Run captures a profile of length dur every interval until ctx is done.
+// It arms the ring for its lifetime and is the only writer; callers run it
+// on a dedicated goroutine.
+func (r *ProfRing) Run(ctx context.Context, interval, dur time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	if dur <= 0 || dur > interval {
+		dur = interval / 2
+	}
+	r.armed.Store(true)
+	defer r.armed.Store(false)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			// Errors (a concurrent on-demand profile) are counted, not
+			// fatal: the loop retries next tick.
+			_ = r.CaptureOnce(dur)
+		}
+	}
+}
+
+// Snapshot returns the ring's profiles, oldest first.
+func (r *ProfRing) Snapshot() []Profile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = len(r.profiles)
+	}
+	out := make([]Profile, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i
+		if r.filled {
+			idx = (r.next + i) % len(r.profiles)
+		}
+		out = append(out, r.profiles[idx])
+	}
+	return out
+}

@@ -19,9 +19,11 @@ type TracesResponse struct {
 	Traces []obs.TraceMeta `json:"traces"`
 }
 
-// TimestackResponse carries the per-route time stacks.
+// TimestackResponse carries the per-route time stacks plus the engine
+// histograms' quantile summaries (solver iterations, pool queue waits).
 type TimestackResponse struct {
-	Stacks []obs.TimeStack `json:"stacks"`
+	Stacks     []obs.TimeStack `json:"stacks"`
+	Histograms []HistQuantiles `json:"histograms"`
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
@@ -66,12 +68,17 @@ func (s *Server) handleTimestack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stacks := obs.TimeStacks(s.col.Snapshots())
+	quants := s.timestackQuantiles()
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
-		writeJSON(w, http.StatusOK, TimestackResponse{Stacks: stacks})
+		writeJSON(w, http.StatusOK, TimestackResponse{Stacks: stacks, Histograms: quants})
 	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, obs.RenderTimeStacks(stacks))
+		for _, q := range quants {
+			fmt.Fprintf(w, "%-22s n=%-8d p50=%-12.6g p95=%-12.6g p99=%.6g\n",
+				q.Name, q.Count, q.P50, q.P95, q.P99)
+		}
 	default:
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown format %q (want json or text)", format)})
 	}
@@ -95,5 +102,7 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("GET /debug/fleet", s.handleFleet)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("GET /debug/flight/{sweep}", s.handleFlight)
+	mux.HandleFunc("GET /debug/perfsnap", s.handlePerfsnap)
+	mux.HandleFunc("GET /debug/perfsnap/ring", s.handlePerfRing)
 	return mux
 }

@@ -48,6 +48,7 @@ import (
 	"smtflex/internal/mem"
 	"smtflex/internal/memo"
 	"smtflex/internal/obs"
+	"smtflex/internal/perfdiff"
 	"smtflex/internal/sched"
 	"smtflex/internal/study"
 	"smtflex/internal/timeline"
@@ -84,6 +85,23 @@ type Config struct {
 	// (POST /cluster/v1/cell) so this daemon serves a coordinator's
 	// dispatches. Mutually exclusive with Coordinator.
 	ClusterWorker *cluster.Worker
+	// ProfInterval, when positive, arms the continuous profiler: a CPU
+	// profile is captured at this cadence into a bounded ring served at
+	// /debug/perfsnap/ring. Zero (the default) disables profiling entirely.
+	ProfInterval time.Duration
+	// ProfRingCap bounds the continuous profiler's ring
+	// (default perfdiff.DefaultProfRingCap).
+	ProfRingCap int
+	// PerfBaseline, when set, arms the snap-on-drift watcher: engine
+	// histograms are compared against this baseline snapshot at
+	// DriftInterval, and a drift past tolerance auto-captures a perf
+	// snapshot into PerfDumpDir.
+	PerfBaseline *perfdiff.Snapshot
+	// PerfDumpDir is where drift-triggered snapshots land (default ".";
+	// smtflexd points it at the journal directory when one is configured).
+	PerfDumpDir string
+	// DriftInterval is the drift watcher's check cadence (default 15s).
+	DriftInterval time.Duration
 }
 
 // Server handles the smtflexd API. Create with New; serve via Handler.
@@ -113,16 +131,11 @@ type Server struct {
 	// iteration counts, pool queue waits) behind the /metrics histograms.
 	solverIters *obs.Histogram
 	poolQueue   *obs.Histogram
+
+	// perf holds the performance-observability state: the continuous
+	// profiling ring and the snap-on-drift watcher (see perfsnap.go).
+	perf perf
 }
-
-// solverIterBuckets are the smtflexd_solver_iterations upper bounds: the
-// fixed-point solver converges in a handful of iterations on most mixes and
-// its budget is in the hundreds.
-var solverIterBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
-
-// queueBuckets are the smtflexd_pool_queue_seconds upper bounds: queue waits
-// range from sub-microsecond (idle pool) to seconds (cold campaign).
-var queueBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
 
 // New builds a Server around the given engine.
 func New(cfg Config) (*Server, error) {
@@ -170,9 +183,28 @@ func New(cfg Config) (*Server, error) {
 		s.col = obs.NewCollector(cfg.TraceBuffer)
 		obs.Enable()
 	}
-	s.solverIters = obs.NewHistogram(solverIterBuckets)
-	s.poolQueue = obs.NewHistogram(queueBuckets)
+	// The engine histograms use the perf-snapshot layer's canonical bucket
+	// bounds so live /metrics scrapes and perfdiff baselines are the same
+	// distributions bucket for bucket.
+	s.solverIters = obs.NewHistogram(perfdiff.SolverIterBuckets)
+	s.poolQueue = obs.NewHistogram(perfdiff.QueueSecondsBuckets)
 	s.study().SetEngineHistograms(s.solverIters, s.poolQueue)
+	if cfg.ProfRingCap <= 0 {
+		cfg.ProfRingCap = perfdiff.DefaultProfRingCap
+	}
+	if cfg.DriftInterval <= 0 {
+		cfg.DriftInterval = defaultDriftInterval
+	}
+	if cfg.PerfDumpDir == "" {
+		cfg.PerfDumpDir = "."
+	}
+	s.perf.ring = perfdiff.NewProfRing(cfg.ProfRingCap)
+	s.perf.interval = cfg.ProfInterval
+	s.perf.driftInterval = cfg.DriftInterval
+	s.perf.dumpDir = cfg.PerfDumpDir
+	if cfg.PerfBaseline != nil {
+		s.perf.drift = perfdiff.NewDriftWatcher(cfg.PerfBaseline, perfdiff.DefaultDriftTolerance())
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -189,6 +221,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /debug/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	s.mux.HandleFunc("GET /debug/flight/{sweep}", s.handleFlight)
+	s.mux.HandleFunc("GET /debug/perfsnap", s.handlePerfsnap)
+	s.mux.HandleFunc("GET /debug/perfsnap/ring", s.handlePerfRing)
 	if s.worker != nil {
 		s.mux.Handle("POST "+cluster.CellPath, s.endpoint(cluster.CellPath, s.handleCell))
 	}
@@ -514,6 +548,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"smtflexd_inflight", "Requests currently executing.", "gauge", "", float64(s.adm.executing())},
 		{"smtflexd_draining", "1 while the daemon is draining for shutdown, else 0.", "gauge", "", boolGauge(s.draining.Load())},
 		{"smtflexd_engine_evaluations_total", "Mix evaluations performed by the experiment engine.", "counter", "", float64(s.study().Evaluations())},
+		{"smtflexd_perf_drift_total", "Histogram quantiles observed past tolerance versus the armed perf baseline.", "counter", "", float64(s.perf.drifts.Load())},
+		{"smtflexd_perf_drift_snapshots_total", "Perf snapshots auto-captured by the drift watcher.", "counter", "", float64(s.perf.dumps.Load())},
+		{"smtflexd_perf_drift_snapshot_errors_total", "Drift snapshot writes that failed.", "counter", "", float64(s.perf.dumpErrs.Load())},
+	}
+	{
+		caps, skipped := s.perf.ring.Counts()
+		samples = append(samples,
+			sample{"smtflexd_prof_captures_total", "CPU profiles captured into the continuous-profiling ring.", "counter", "", float64(caps)},
+			sample{"smtflexd_prof_skipped_total", "Continuous-profiling captures skipped (profiler busy).", "counter", "", float64(skipped)})
 	}
 	// Per-cache series from every memo cache the engine reaches (solo-rate,
 	// sweeps, profiles, curves). Label variants of one metric stay adjacent

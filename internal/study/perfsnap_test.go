@@ -1,0 +1,93 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"smtflex/internal/config"
+	"smtflex/internal/machstats"
+	"smtflex/internal/obs"
+	"smtflex/internal/perfdiff"
+)
+
+// TestSweepBitIdenticalWithPerfsnap is the perf-snapshot layer's correctness
+// contract: running a sweep with every snapshot source armed — tracing,
+// machstats, engine histograms — and then capturing a perf snapshot must not
+// change a single bit of the engine's output versus a dark run. Snapshot
+// capture only reads already-collected state; this pins that property at the
+// sweep level the way TestSweepBitIdenticalWithMachstats pins the counters.
+func TestSweepBitIdenticalWithPerfsnap(t *testing.T) {
+	d, err := config.DesignByName("2B4m", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Disable()
+	machstats.Disable()
+	dark := newEngineStudy(4)
+	swDark, err := dark.SweepDesign(context.Background(), d, Heterogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	machstats.Reset()
+	machstats.Enable()
+	t.Cleanup(machstats.Disable)
+	t.Cleanup(machstats.Reset)
+
+	armed := newEngineStudy(4)
+	solverIters := obs.NewHistogram(perfdiff.SolverIterBuckets)
+	poolQueue := obs.NewHistogram(perfdiff.QueueSecondsBuckets)
+	armed.SetEngineHistograms(solverIters, poolQueue)
+	col := obs.NewCollector(4)
+	ctx, root := obs.StartTrace(context.Background(), col, "sweep")
+	swArmed, err := armed.SweepDesign(ctx, d, Heterogeneous)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mach := machstats.Default().Snapshot()
+	snap := perfdiff.Capture(perfdiff.CaptureOpts{
+		Role:   "test",
+		Traces: col.Snapshots(),
+		Mach:   &mach,
+		Histograms: []perfdiff.HistogramState{
+			perfdiff.HistState(perfdiff.HistSolverIterations, solverIters.Snapshot()),
+			perfdiff.HistState(perfdiff.HistPoolQueueSeconds, poolQueue.Snapshot()),
+		},
+		Caches: armed.CacheCounters(),
+	})
+
+	if fmt.Sprintf("%+v", swDark) != fmt.Sprintf("%+v", swArmed) {
+		t.Fatal("sweep tables differ with perf-snapshot sources armed")
+	}
+
+	// The capture must actually have observed the sweep: solve time in the
+	// stacks, iterations in the histogram, stacks in machstats.
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.TimeStacks) == 0 {
+		t.Fatal("no time stacks captured from armed sweep")
+	}
+	var solveNs int64
+	for _, ts := range snap.TimeStacks {
+		solveNs += ts.ByNs[obs.CatSolve]
+	}
+	if solveNs == 0 {
+		t.Errorf("no solve time attributed in stacks: %+v", snap.TimeStacks)
+	}
+	if h, ok := snap.Histogram(perfdiff.HistSolverIterations); !ok || h.Count == 0 {
+		t.Errorf("solver-iteration histogram empty in snapshot")
+	}
+	if snap.MachStats == nil || len(snap.MachStats.Stacks) == 0 {
+		t.Errorf("no CPI-stack records in snapshot")
+	}
+	if len(snap.Caches) == 0 {
+		t.Errorf("no cache counters in snapshot")
+	}
+}
